@@ -1,0 +1,72 @@
+"""E6 / Figure E — the BMM-to-MSRP reduction (Theorem 28).
+
+Runs Boolean matrix multiplication through the reduction for a density
+sweep, checks the decoded product against the naive combinatorial product,
+and reports the gadget statistics (number of MSRP instances, their size) —
+the quantities the reduction's running-time claim
+``O(sqrt(n/sigma) * T(O(n), O(m)))`` is made of.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.params import AlgorithmParams
+from repro.lowerbound.bmm import (
+    build_reduction_instance,
+    count_reduction_graphs,
+    multiply_naive,
+    multiply_via_msrp,
+)
+
+SIZES_AND_DENSITIES = [(12, 0.1), (12, 0.3), (16, 0.2), (20, 0.15)]
+
+
+def _random_matrix(size: int, density: float, rng: random.Random):
+    return [[1 if rng.random() < density else 0 for _ in range(size)] for _ in range(size)]
+
+
+@pytest.mark.parametrize("size,density", SIZES_AND_DENSITIES)
+def test_bmm_via_msrp(benchmark, size, density):
+    rng = random.Random(size)
+    a = _random_matrix(size, density, rng)
+    b = _random_matrix(size, density, rng)
+    product = benchmark.pedantic(
+        lambda: multiply_via_msrp(a, b, params=AlgorithmParams(seed=size)),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert product == multiply_naive(a, b)
+
+
+def test_bmm_reduction_report(benchmark):
+    rows = []
+    for size, density in SIZES_AND_DENSITIES:
+        rng = random.Random(size)
+        a = _random_matrix(size, density, rng)
+        b = _random_matrix(size, density, rng)
+        sigma = max(1, int(round(size**0.5)))
+        chain = max(1, round((size / sigma) ** 0.5))
+        instance = build_reduction_instance(a, b, 0, sigma, chain)
+        rows.append(
+            [
+                size,
+                density,
+                count_reduction_graphs(size, sigma),
+                sigma,
+                instance.graph.num_vertices,
+                instance.graph.num_edges,
+            ]
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
+    print_table(
+        "Figure E: reduction gadget statistics",
+        ["matrix n", "density", "#MSRP instances", "sigma", "gadget |V|", "gadget |E|"],
+        rows,
+    )
+    # Gadget vertex counts stay linear in the matrix dimension.
+    assert all(row[4] <= 12 * row[0] for row in rows)

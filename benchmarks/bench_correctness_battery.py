@@ -1,0 +1,60 @@
+"""E8 — randomised correctness battery (paper Theorems 14 and 26).
+
+The paper's algorithms are Monte Carlo ("correct with high probability");
+this benchmark measures the empirical error rate of both landmark strategies
+against the brute-force oracle over a battery of random instances, and times
+the battery as a whole.  Expected shape: zero mismatches with the paper's
+constants.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import benchmark_params, print_table
+from repro.core.msrp import multiple_source_replacement_paths
+from repro.graph import generators
+from repro.rp.bruteforce import brute_force_multi_source
+
+BATTERY = [
+    ("direct", 20, 36),
+    ("auxiliary", 10, 22),
+]
+
+
+def _run_battery(strategy: str, trials: int, max_n: int) -> tuple:
+    mismatches = entries = 0
+    for trial in range(trials):
+        rng = random.Random(1000 * trials + trial)
+        n = rng.randint(8, max_n)
+        graph = generators.random_connected_graph(n, extra_edges=2 * n, seed=trial)
+        sigma = rng.randint(1, min(4, n))
+        sources = rng.sample(range(n), sigma)
+        result = multiple_source_replacement_paths(
+            graph,
+            sources,
+            params=benchmark_params(seed=trial),
+            landmark_strategy=strategy,
+        )
+        reference = brute_force_multi_source(graph, sources)
+        mismatches += len(result.differences_from(reference))
+        entries += result.output_size
+    return mismatches, entries
+
+
+@pytest.mark.parametrize("strategy,trials,max_n", BATTERY)
+def test_correctness_battery(benchmark, strategy, trials, max_n):
+    mismatches, entries = benchmark.pedantic(
+        lambda: _run_battery(strategy, trials, max_n),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print_table(
+        f"E8: correctness battery ({strategy} strategy)",
+        ["trials", "entries checked", "mismatches"],
+        [[trials, entries, mismatches]],
+    )
+    assert mismatches == 0

@@ -1,0 +1,61 @@
+"""E4 / Figure C — landmark-set sizes (Lemma 4).
+
+Samples the landmark hierarchy over an ``(n, sigma)`` grid and several seeds
+and reports the measured ``|L_k|`` and ``|L|`` against the Lemma 4 bound
+``O~(sqrt(n sigma) / 2^k)``.  The expected shape: the measured union size
+tracks ``sqrt(n sigma)`` up to the logarithmic factor, and level sizes halve
+per level.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.landmarks import LandmarkHierarchy
+from repro.core.params import AlgorithmParams, ProblemScale
+
+GRID = [(500, 1), (500, 4), (1000, 4), (2000, 8), (4000, 16)]
+
+
+@pytest.mark.parametrize("num_vertices,num_sources", GRID)
+def test_landmark_sampling(benchmark, num_vertices, num_sources):
+    params = AlgorithmParams(seed=1)
+    scale = ProblemScale(num_vertices, num_sources, params)
+    sources = list(range(num_sources))
+    benchmark(lambda: LandmarkHierarchy.sample(scale, sources, random.Random(1)))
+
+
+def test_landmark_size_report(benchmark):
+    rows = []
+    for num_vertices, num_sources in GRID:
+        params = AlgorithmParams(seed=3)
+        scale = ProblemScale(num_vertices, num_sources, params)
+        sources = list(range(num_sources))
+        sizes = []
+        for seed in range(5):
+            hierarchy = LandmarkHierarchy.sample(scale, sources, random.Random(seed))
+            sizes.append(len(hierarchy.union))
+        mean_size = sum(sizes) / len(sizes)
+        reference = math.sqrt(num_vertices * num_sources)
+        rows.append(
+            [
+                num_vertices,
+                num_sources,
+                f"{mean_size:.0f}",
+                f"{reference:.0f}",
+                f"{mean_size / reference:.2f}",
+            ]
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
+    print_table(
+        "Figure C: measured |L| vs sqrt(n sigma) (mean over 5 seeds)",
+        ["n", "sigma", "|L| measured", "sqrt(n sigma)", "ratio"],
+        rows,
+    )
+    # The ratio should be governed by the constant and the log factor only.
+    ratios = [float(r[4]) for r in rows]
+    assert max(ratios) <= 8 * max(1.0, math.log2(GRID[-1][0]))

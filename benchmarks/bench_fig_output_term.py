@@ -1,0 +1,68 @@
+"""E7 / Figure F — the ``sigma n^2`` output term (paper footnote 2).
+
+The second term of the paper's bound is forced by the output volume: there
+are up to ``Theta(sigma n^2)`` (source, target, failed edge) triples to
+report.  This benchmark sweeps ``sigma`` on a fixed graph, measures the
+output volume and the assembly-phase time, and confirms both grow linearly
+in ``sigma`` while the landmark-preprocessing phase grows sub-linearly
+(~ ``sqrt(sigma)``), which is the split Theorem 26 describes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import benchmark_params, print_table, sparse_workload
+from repro.analysis import fit_power_law
+from repro.core.msrp import MSRPSolver
+from repro.graph import generators
+
+NUM_VERTICES = 100
+SIGMAS = [1, 2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+def test_output_volume_scaling(benchmark, sigma):
+    graph = sparse_workload(NUM_VERTICES, seed=3)
+    sources = generators.random_sources(graph, sigma, seed=sigma)
+    solver = MSRPSolver(graph, sources, params=benchmark_params(seed=sigma))
+    result = benchmark.pedantic(
+        solver.solve, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.output_size > 0
+
+
+def test_output_term_report(benchmark):
+    graph = sparse_workload(NUM_VERTICES, seed=3)
+    rows = []
+    volumes, preprocessing, assembly = [], [], []
+    for sigma in SIGMAS:
+        sources = generators.random_sources(graph, sigma, seed=sigma)
+        solver = MSRPSolver(graph, sources, params=benchmark_params(seed=sigma))
+        result = solver.solve()
+        volumes.append(result.output_size)
+        preprocessing.append(solver.phase_seconds["landmark_replacement_paths"])
+        assembly.append(solver.phase_seconds["assembly"])
+        rows.append(
+            [
+                sigma,
+                result.output_size,
+                f"{solver.phase_seconds['landmark_replacement_paths'] * 1000:.0f} ms",
+                f"{solver.phase_seconds['assembly'] * 1000:.0f} ms",
+            ]
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
+
+    print_table(
+        f"Figure F: output volume and phase times vs sigma (n={NUM_VERTICES})",
+        ["sigma", "(s,t,e) entries", "landmark preprocessing", "assembly"],
+        rows,
+    )
+    volume_fit = fit_power_law(SIGMAS, volumes)
+    assembly_fit = fit_power_law(SIGMAS, [max(t, 1e-4) for t in assembly])
+    print(
+        f"output volume ~ sigma^{volume_fit.exponent:.2f}, "
+        f"assembly time ~ sigma^{assembly_fit.exponent:.2f}"
+    )
+    # Output volume is essentially linear in sigma.
+    assert 0.7 <= volume_fit.exponent <= 1.3

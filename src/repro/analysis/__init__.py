@@ -1,0 +1,19 @@
+"""Runtime-model fitting helpers used by the benchmark harness."""
+
+from repro.analysis.complexity import (
+    PowerLawFit,
+    crossover_point,
+    fit_power_law,
+    geometric_mean,
+    predicted_operations,
+    speedup_table,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "predicted_operations",
+    "speedup_table",
+    "crossover_point",
+    "geometric_mean",
+]

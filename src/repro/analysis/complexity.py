@@ -1,0 +1,142 @@
+"""Runtime-model fitting used by the benchmark harness.
+
+The paper's evaluation is a set of asymptotic claims; the benchmark harness
+turns them into measurements and uses the helpers here to summarise them:
+
+* :func:`fit_power_law` — least-squares fit of ``time ~ coefficient * x^exponent``
+  on a log-log scale, giving the empirical growth exponent of a runtime
+  series (e.g. SSRP runtime as a function of ``n``).
+* :func:`predicted_operations` — the paper's own cost models
+  (``m sqrt(n sigma) + sigma n^2`` and the baselines), used to report the
+  predicted-versus-measured ratio per configuration.
+* :func:`speedup_table` — convenience for the "who wins, by what factor"
+  rows of the Table 1 experiment.
+
+Everything is implemented with the standard library so the core package has
+no third-party dependencies; numpy is deliberately not required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log-log least-squares fit ``y ~ coefficient * x^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted model at ``x``."""
+        return self.coefficient * (x**self.exponent)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c * x^a`` by least squares on ``(log x, log y)``.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two positive samples are provided.
+    """
+    points = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(points) < 2:
+        raise ValueError("fit_power_law needs at least two positive samples")
+    log_x = [math.log(x) for x, _ in points]
+    log_y = [math.log(y) for _, y in points]
+    count = len(points)
+    mean_x = sum(log_x) / count
+    mean_y = sum(log_y) / count
+    sxx = sum((x - mean_x) ** 2 for x in log_x)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(log_x, log_y))
+    if sxx == 0:
+        raise ValueError("all x values are identical; exponent is undefined")
+    exponent = sxy / sxx
+    intercept = mean_y - exponent * mean_x
+    predictions = [intercept + exponent * x for x in log_x]
+    ss_res = sum((y - p) ** 2 for y, p in zip(log_y, predictions))
+    ss_tot = sum((y - mean_y) ** 2 for y in log_y)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=exponent, coefficient=math.exp(intercept), r_squared=r_squared)
+
+
+def predicted_operations(
+    model: str, num_vertices: int, num_edges: int, num_sources: int
+) -> float:
+    """Operation-count prediction of the paper's cost models.
+
+    Supported models:
+
+    * ``"msrp"``      — ``m sqrt(n sigma) + sigma n^2`` (Theorem 26)
+    * ``"ssrp"``      — ``m sqrt(n) + n^2`` (Theorem 14)
+    * ``"bruteforce"``— ``sigma n m``
+    * ``"per_target"``— ``sigma m n``
+    * ``"independent_ssrp"`` — ``sigma (m sqrt(n) + n^2)``
+    * ``"bk_all_pairs"``     — ``m n + n^3`` (Bernstein-Karger, sigma = n)
+    """
+    n, m, sigma = float(num_vertices), float(num_edges), float(num_sources)
+    models = {
+        "msrp": m * math.sqrt(n * sigma) + sigma * n * n,
+        "ssrp": m * math.sqrt(n) + n * n,
+        "bruteforce": sigma * n * m,
+        "per_target": sigma * m * n,
+        "independent_ssrp": sigma * (m * math.sqrt(n) + n * n),
+        "bk_all_pairs": m * n + n**3,
+    }
+    if model not in models:
+        raise ValueError(f"unknown cost model {model!r}; choose from {sorted(models)}")
+    return models[model]
+
+
+def speedup_table(
+    timings: Mapping[str, float], reference: str
+) -> Dict[str, float]:
+    """Return ``algorithm -> timings[algorithm] / timings[reference]``.
+
+    Values above 1 mean the algorithm is slower than the reference; the
+    Table 1 benchmark prints these ratios per configuration.
+    """
+    if reference not in timings:
+        raise ValueError(f"reference {reference!r} missing from timings {sorted(timings)}")
+    base = timings[reference]
+    if base <= 0:
+        raise ValueError("reference timing must be positive")
+    return {name: value / base for name, value in timings.items()}
+
+
+def crossover_point(
+    xs: Sequence[float], first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Estimate where the ``first`` series overtakes the ``second``.
+
+    Returns the interpolated x-coordinate of the first sign change of
+    ``first - second`` or ``math.inf`` when no crossover occurs in range.
+    Benchmarks use this to report where the paper's algorithm starts
+    beating a baseline.
+    """
+    if not (len(xs) == len(first) == len(second)):
+        raise ValueError("series must have equal lengths")
+    previous_delta = None
+    for i, x in enumerate(xs):
+        delta = first[i] - second[i]
+        if previous_delta is not None and previous_delta > 0 >= delta:
+            x0, x1 = xs[i - 1], x
+            if delta == previous_delta:
+                return x
+            fraction = previous_delta / (previous_delta - delta)
+            return x0 + fraction * (x1 - x0)
+        previous_delta = delta
+    return math.inf
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 when the iterable is empty)."""
+    items = [v for v in values if v > 0]
+    if not items:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in items) / len(items))

@@ -1,0 +1,17 @@
+"""Baseline algorithms used by tests and the benchmark harness."""
+
+from repro.baselines.naive import (
+    msrp_independent_ssrp,
+    msrp_per_edge_bfs,
+    msrp_per_target_classical,
+    ssrp_per_edge_bfs,
+    ssrp_per_target_classical,
+)
+
+__all__ = [
+    "ssrp_per_edge_bfs",
+    "ssrp_per_target_classical",
+    "msrp_per_edge_bfs",
+    "msrp_per_target_classical",
+    "msrp_independent_ssrp",
+]

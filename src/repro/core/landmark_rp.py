@@ -1,0 +1,125 @@
+"""Source-to-landmark replacement-path tables ``d(s, r, e)``.
+
+Both the far-edge routine (Algorithm 3) and the large-replacement-path
+routine (Algorithm 4) look up the quantity ``d(s, r, e)`` — the length of a
+shortest ``s``-``r`` path avoiding ``e`` — for landmarks ``r``.  The paper
+offers two ways to obtain these tables:
+
+* the **direct** strategy (Section 5, used verbatim for ``sigma = 1``):
+  run the classical single-pair algorithm of [20, 21, 22] once per
+  ``(source, landmark)`` pair, costing ``O~(m + n)`` each, i.e.
+  ``O~(m sigma sqrt(n sigma))`` overall.  For a single source this is the
+  paper's algorithm; for many sources it is the "inefficient" strategy the
+  paper improves upon, and the library keeps it both as a baseline and as a
+  correctness cross-check.
+* the **auxiliary** strategy (Section 8): the adapted Bernstein–Karger
+  construction implemented in :mod:`repro.multisource`, costing
+  ``O~(m sqrt(n sigma) + sigma n^2)``.
+
+Both strategies produce a :class:`SourceLandmarkTables`, so the downstream
+phases are agnostic to how the tables were obtained.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.tree import ShortestPathTree
+from repro.rp.single_pair import replacement_paths
+
+#: landmark -> (edge on the canonical source-landmark path -> length)
+PerSourceLandmarkTable = Dict[int, Dict[Edge, float]]
+
+
+class SourceLandmarkTables:
+    """Replacement lengths from every source to every landmark.
+
+    The table behaves like the hash tables of the paper's preprocessing
+    phase: ``query(s, r, e)`` returns ``d(s, r, e)`` in ``O(1)``, falling
+    back to the shortest ``s``-``r`` distance when ``e`` is not on the
+    canonical ``s``-``r`` path (removing such an edge cannot hurt the
+    canonical path) and to ``inf`` when ``r`` is unreachable from ``s``.
+    """
+
+    __slots__ = ("_tables", "_trees", "landmarks")
+
+    def __init__(
+        self,
+        tables: Mapping[int, PerSourceLandmarkTable],
+        source_trees: Mapping[int, ShortestPathTree],
+        landmarks: Iterable[int],
+    ):
+        self._tables: Dict[int, PerSourceLandmarkTable] = {
+            int(s): {int(r): dict(per_edge) for r, per_edge in per_source.items()}
+            for s, per_source in tables.items()
+        }
+        self._trees = dict(source_trees)
+        self.landmarks = frozenset(int(r) for r in landmarks)
+        for s in self._tables:
+            if s not in self._trees:
+                raise InvalidParameterError(f"missing source tree for source {s}")
+
+    def distance(self, source: int, landmark: int) -> float:
+        """Shortest ``source``-``landmark`` distance (``inf`` when unreachable)."""
+        return self._trees[source].distance(landmark)
+
+    def query(self, source: int, landmark: int, edge: Sequence[int]) -> float:
+        """Return ``d(source, landmark, edge)``."""
+        per_source = self._tables.get(source)
+        if per_source is None:
+            raise InvalidParameterError(f"no landmark table for source {source}")
+        e = normalize_edge(int(edge[0]), int(edge[1]))
+        per_edge = per_source.get(landmark)
+        if per_edge is not None and e in per_edge:
+            return per_edge[e]
+        # Edge not on the canonical source-landmark path: the canonical path
+        # survives the deletion, so the plain distance is the answer.
+        return self._trees[source].distance(landmark)
+
+    def table_for(self, source: int) -> PerSourceLandmarkTable:
+        """Raw table for one source (landmark -> edge -> length)."""
+        return self._tables[source]
+
+    @property
+    def num_entries(self) -> int:
+        """Total number of stored ``(s, r, e)`` triples."""
+        return sum(
+            len(per_edge)
+            for per_source in self._tables.values()
+            for per_edge in per_source.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SourceLandmarkTables(sources={len(self._tables)}, "
+            f"landmarks={len(self.landmarks)}, entries={self.num_entries})"
+        )
+
+
+def compute_direct_tables(
+    graph: Graph,
+    source_trees: Mapping[int, ShortestPathTree],
+    landmarks: Iterable[int],
+) -> SourceLandmarkTables:
+    """Compute ``d(s, r, e)`` with one classical single-pair run per pair.
+
+    This is the strategy the paper uses for ``sigma = 1`` (Theorem 14); for
+    larger source sets it is quadratically slower in ``sigma`` than the
+    Section 8 construction but remains exact, which makes it the reference
+    the auxiliary strategy is validated against.
+    """
+    landmark_set = sorted(set(int(r) for r in landmarks))
+    tables: Dict[int, PerSourceLandmarkTable] = {}
+    for source, tree in source_trees.items():
+        per_source: PerSourceLandmarkTable = {}
+        for landmark in landmark_set:
+            if landmark == source or not tree.is_reachable(landmark):
+                per_source[landmark] = {}
+                continue
+            result = replacement_paths(graph, source, landmark, source_tree=tree)
+            per_source[landmark] = dict(result.lengths)
+        tables[source] = per_source
+    return SourceLandmarkTables(tables, source_trees, landmark_set)

@@ -1,0 +1,261 @@
+"""The Multiple Source Replacement Path algorithm (paper Theorem 1 / 26).
+
+:class:`MSRPSolver` drives the full pipeline:
+
+1. **Preprocessing** (Section 5): sample the landmark hierarchy, run BFS
+   from every source and every landmark, and compute the source-to-landmark
+   replacement tables ``d(s, r, e)`` with one of two strategies:
+
+   * ``"direct"`` — one classical single-pair computation per
+     ``(source, landmark)`` pair (the paper's choice for ``sigma = 1``).
+   * ``"auxiliary"`` — the Section 8 adaptation of Bernstein–Karger
+     (centers, path-cover lemma, bottleneck edges), giving the
+     ``O~(m sqrt(n sigma) + sigma n^2)`` bound of Theorem 26.
+
+2. **Near-edge, small replacement paths** (Section 7.1): per-source
+   auxiliary graph + Dijkstra.
+3. **Assembly**: for every source, target and failed edge take the minimum
+   of the responsible candidate generators — Algorithm 3 for far edges,
+   the Section 7.1 value and Algorithm 4 for near edges.
+
+The solver records wall-clock statistics per phase (used by the benchmark
+harness) and can optionally self-verify against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.classification import classify_path_edges
+from repro.core.far_edges import FarEdgeSolver
+from repro.core.landmark_rp import SourceLandmarkTables, compute_direct_tables
+from repro.core.landmarks import LandmarkHierarchy
+from repro.core.near_large import NearLargeSolver
+from repro.core.near_small import NearSmallTables, compute_near_small_tables
+from repro.core.params import AlgorithmParams, ProblemScale
+from repro.core.result import PerSourceTable, ReplacementPathResult
+from repro.exceptions import InternalInvariantError, InvalidParameterError
+from repro.graph.bfs import bfs_tree
+from repro.graph.graph import Graph
+from repro.graph.tree import ShortestPathTree
+
+#: Valid values of the ``landmark_strategy`` argument.
+LANDMARK_STRATEGIES = ("direct", "auxiliary")
+
+
+class MSRPSolver:
+    """End-to-end solver for the MSRP problem.
+
+    Parameters
+    ----------
+    graph:
+        Undirected, unweighted input graph.
+    sources:
+        The source set ``S`` (non-empty, distinct vertices).
+    params:
+        Algorithm constants; defaults to :class:`AlgorithmParams`.
+    landmark_strategy:
+        ``"direct"`` or ``"auxiliary"`` (see module docstring).
+    landmark_hierarchy:
+        Optional pre-sampled hierarchy; tests inject deterministic ones.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        sources: Iterable[int],
+        params: Optional[AlgorithmParams] = None,
+        landmark_strategy: str = "direct",
+        landmark_hierarchy: Optional[LandmarkHierarchy] = None,
+    ):
+        self.graph = graph
+        self.sources: List[int] = sorted(set(int(s) for s in sources))
+        if not self.sources:
+            raise InvalidParameterError("the source set must not be empty")
+        for s in self.sources:
+            if not graph.has_vertex(s):
+                raise InvalidParameterError(f"source {s} is not a vertex of the graph")
+        if landmark_strategy not in LANDMARK_STRATEGIES:
+            raise InvalidParameterError(
+                f"landmark_strategy must be one of {LANDMARK_STRATEGIES}, "
+                f"got {landmark_strategy!r}"
+            )
+        self.params = params if params is not None else AlgorithmParams()
+        self.landmark_strategy = landmark_strategy
+        self.scale = ProblemScale(graph.num_vertices, len(self.sources), self.params)
+        self._given_hierarchy = landmark_hierarchy
+
+        # Populated by preprocess().
+        self.landmarks: Optional[LandmarkHierarchy] = None
+        self.source_trees: Dict[int, ShortestPathTree] = {}
+        self.landmark_trees: Dict[int, ShortestPathTree] = {}
+        self.landmark_tables: Optional[SourceLandmarkTables] = None
+        self.near_small_tables: Dict[int, NearSmallTables] = {}
+        #: wall-clock seconds per phase, filled in as the solver runs
+        self.phase_seconds: Dict[str, float] = {}
+
+    # -- pipeline --------------------------------------------------------------
+
+    def preprocess(self) -> "MSRPSolver":
+        """Run the preprocessing phase (Sections 5 and 8)."""
+        rng = random.Random(self.params.seed)
+
+        start = time.perf_counter()
+        self.landmarks = (
+            self._given_hierarchy
+            if self._given_hierarchy is not None
+            else LandmarkHierarchy.sample(self.scale, self.sources, rng)
+        )
+        self.phase_seconds["sample_landmarks"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        self.source_trees = {s: bfs_tree(self.graph, s) for s in self.sources}
+        self.landmark_trees = {}
+        for landmark in sorted(self.landmarks.union):
+            if landmark in self.source_trees:
+                self.landmark_trees[landmark] = self.source_trees[landmark]
+            else:
+                self.landmark_trees[landmark] = bfs_tree(self.graph, landmark)
+        self.phase_seconds["bfs_trees"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        self.landmark_tables = self._compute_landmark_tables(rng)
+        self.phase_seconds["landmark_replacement_paths"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        self.near_small_tables = {
+            s: compute_near_small_tables(
+                self.graph, s, self.source_trees[s], self.scale
+            )
+            for s in self.sources
+        }
+        self.phase_seconds["near_small_auxiliary"] = time.perf_counter() - start
+        return self
+
+    def _compute_landmark_tables(self, rng: random.Random) -> SourceLandmarkTables:
+        if self.landmark_strategy == "direct":
+            return compute_direct_tables(
+                self.graph, self.source_trees, self.landmarks.union
+            )
+        # Imported lazily: repro.multisource depends on repro.core for the
+        # small-replacement-path construction it reuses (Section 8.2.1).
+        from repro.multisource.pipeline import compute_auxiliary_tables
+
+        return compute_auxiliary_tables(
+            graph=self.graph,
+            scale=self.scale,
+            sources=self.sources,
+            source_trees=self.source_trees,
+            landmarks=self.landmarks,
+            landmark_trees=self.landmark_trees,
+            rng=rng,
+        )
+
+    def solve(self) -> ReplacementPathResult:
+        """Run the full pipeline and return the replacement-path tables."""
+        if self.landmark_tables is None:
+            self.preprocess()
+
+        start = time.perf_counter()
+        far_solver = FarEdgeSolver(
+            self.scale, self.landmarks, self.landmark_trees, self.landmark_tables
+        )
+        large_solver = NearLargeSolver(
+            self.landmarks, self.landmark_trees, self.landmark_tables
+        )
+
+        tables: Dict[int, PerSourceTable] = {}
+        for source in self.sources:
+            tables[source] = self._solve_single_source(
+                source, far_solver, large_solver
+            )
+        self.phase_seconds["assembly"] = time.perf_counter() - start
+
+        result = ReplacementPathResult(tables, self.source_trees)
+        if self.params.verify:
+            self._verify(result)
+        return result
+
+    def _solve_single_source(
+        self,
+        source: int,
+        far_solver: FarEdgeSolver,
+        large_solver: NearLargeSolver,
+    ) -> PerSourceTable:
+        tree = self.source_trees[source]
+        small_tables = self.near_small_tables[source]
+        per_source: PerSourceTable = {}
+        for target in tree.reachable_vertices():
+            if target == source:
+                continue
+            path = tree.path_to(target)
+            classified = classify_path_edges(path, self.scale)
+            per_target: Dict = {}
+            for item in classified:
+                if item.is_near:
+                    value = min(
+                        small_tables.value(target, item.edge),
+                        large_solver.candidate(source, target, item.edge),
+                    )
+                else:
+                    value = far_solver.candidate(source, target, item)
+                per_target[item.edge] = value
+            per_source[target] = per_target
+        return per_source
+
+    def _verify(self, result: ReplacementPathResult) -> None:
+        from repro.rp.bruteforce import brute_force_multi_source
+
+        reference = brute_force_multi_source(self.graph, self.sources)
+        mismatches = result.differences_from(reference)
+        if mismatches:
+            sample = mismatches[:5]
+            raise InternalInvariantError(
+                f"MSRP output disagrees with brute force on {len(mismatches)} "
+                f"entries; first mismatches: {sample}"
+            )
+
+
+def multiple_source_replacement_paths(
+    graph: Graph,
+    sources: Iterable[int],
+    params: Optional[AlgorithmParams] = None,
+    landmark_strategy: str = "direct",
+    landmark_hierarchy: Optional[LandmarkHierarchy] = None,
+) -> ReplacementPathResult:
+    """Solve the MSRP problem (paper Theorem 1 / Theorem 26).
+
+    Parameters
+    ----------
+    graph:
+        Undirected, unweighted graph.
+    sources:
+        The source set ``S``.
+    params:
+        Optional algorithm constants (seed, verification, scaled thresholds).
+    landmark_strategy:
+        How to compute the source-to-landmark replacement tables:
+        ``"direct"`` (classical algorithm per pair) or ``"auxiliary"``
+        (the Section 8 construction of the paper).
+    landmark_hierarchy:
+        Optional pre-sampled landmark hierarchy (deterministic tests).
+
+    Returns
+    -------
+    ReplacementPathResult
+        ``result.replacement_length(s, t, e)`` is ``|st <> e|`` for every
+        source ``s``, target ``t`` and edge ``e`` on the canonical ``s-t``
+        path.  Entries are ``math.inf`` when the deletion disconnects the
+        pair.  The answer is correct with high probability (Theorem 26).
+    """
+    solver = MSRPSolver(
+        graph,
+        sources,
+        params=params,
+        landmark_strategy=landmark_strategy,
+        landmark_hierarchy=landmark_hierarchy,
+    )
+    return solver.solve()

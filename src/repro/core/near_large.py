@@ -1,0 +1,80 @@
+"""Large replacement paths avoiding near edges (paper Section 7.2, Algorithm 4).
+
+A *near* edge ``e`` sits within ``2 sqrt(n/sigma) log n`` of ``t`` on the
+canonical ``s``-``t`` path.  When the replacement path avoiding ``e`` is
+*large* — longer than ``|se| + 2 sqrt(n/sigma) log n`` — Lemma 11 shows its
+suffix exceeds ``2 sqrt(n/sigma) log n``, so by Lemma 12 a level-0 landmark
+``r`` lies on the suffix close to ``t``, and by Lemma 13 no shortest
+``r``-``t`` path can use ``e``.  Algorithm 4 therefore scans ``L_0``,
+keeps the landmarks whose canonical ``r``-``t`` path avoids ``e`` and takes
+the best ``d(s, r, e) + d(r, t)``.
+
+Every candidate the solver emits is realisable (both summands correspond to
+paths avoiding ``e``), so using it for *small* replacement paths as well is
+harmless — the Section 7.1 value then wins the minimum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.landmark_rp import SourceLandmarkTables
+from repro.core.landmarks import LandmarkHierarchy
+from repro.graph.graph import Edge
+from repro.graph.tree import ShortestPathTree
+
+
+class NearLargeSolver:
+    """Evaluates Algorithm 4 for near edges.
+
+    Parameters
+    ----------
+    landmarks:
+        The landmark hierarchy; only level 0 is scanned.
+    landmark_trees:
+        BFS trees of the landmarks (for the ``d(r, t)`` value and the
+        "does the canonical ``r``-``t`` path avoid ``e``" predicate).
+    landmark_tables:
+        The ``d(s, r, e)`` tables from the preprocessing phase.
+    """
+
+    __slots__ = ("_level0", "_trees", "_tables")
+
+    def __init__(
+        self,
+        landmarks: LandmarkHierarchy,
+        landmark_trees: Mapping[int, ShortestPathTree],
+        landmark_tables: SourceLandmarkTables,
+    ):
+        self._level0 = sorted(landmarks.level(0))
+        self._trees = landmark_trees
+        self._tables = landmark_tables
+
+    def candidate(self, source: int, target: int, edge: Edge) -> float:
+        """Best Algorithm 4 candidate for one near edge.
+
+        Returns ``math.inf`` when no level-0 landmark qualifies (either the
+        target is unreachable from every landmark or every canonical
+        landmark-target path uses ``e``).
+        """
+        best = math.inf
+        for landmark in self._level0:
+            tree = self._trees.get(landmark)
+            if tree is None:
+                continue
+            distance_to_target = tree.distance(target)
+            if distance_to_target is math.inf:
+                continue
+            if tree.tree_path_uses_edge(edge, target):
+                continue
+            candidate = self._tables.query(source, landmark, edge) + distance_to_target
+            if candidate < best:
+                best = candidate
+        return best
+
+    def candidates_for_edges(
+        self, source: int, target: int, edges: Sequence[Edge]
+    ) -> dict:
+        """Evaluate Algorithm 4 for a batch of near edges of one path."""
+        return {edge: self.candidate(source, target, edge) for edge in edges}

@@ -1,0 +1,212 @@
+"""Small replacement paths avoiding near edges (paper Section 7.1).
+
+For every source ``s`` the algorithm builds an *auxiliary graph* ``G_s``
+that encodes, for every target ``t`` and every near edge ``e`` on the
+canonical ``s``-``t`` path, the shortest replacement paths whose length is
+at most ``|se| + 2 sqrt(n/sigma) log n`` ("small" replacement paths).  The
+graph has
+
+* a source node ``[s]``,
+* a node ``[v]`` for every vertex ``v``,
+* a node ``[t, e]`` for every near edge ``e`` on the canonical ``s``-``t``
+  path,
+
+and the edges
+
+* ``[s] -> [v]`` with weight ``|sv|``,
+* ``[v] -> [t, e]`` with weight 1 when ``v`` is a neighbour of ``t``, the
+  canonical ``s``-``v`` path avoids ``e`` and ``(v, t) != e``,
+* ``[v, e] -> [t, e]`` with weight 1 when ``v`` is a neighbour of ``t`` and
+  ``(v, t) != e``.
+
+One Dijkstra run from ``[s]`` then yields ``w[t, e]``, which Lemma 10 shows
+equals ``|st <> e|`` whenever the replacement path is small.  Every
+``[s]``-``[t, e]`` path of the auxiliary graph corresponds to a real walk of
+the same length that avoids ``e`` (the ``(v, t) != e`` guards make this
+sound), so the value is always a valid upper bound.
+
+The optional predecessor tracking reconstructs the corresponding walk in the
+original graph; Section 8.2.1 needs those explicit walks to decide whether a
+small replacement path passes through a given center.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.params import ProblemScale
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.tree import ShortestPathTree
+from repro.rp.dijkstra import AuxiliaryGraphBuilder, dijkstra, reconstruct_path
+
+#: auxiliary-graph node tags
+_SRC = ("src",)
+
+
+def _v_node(v: int) -> Tuple[str, int]:
+    return ("v", v)
+
+
+def _ve_node(t: int, e: Edge) -> Tuple[str, int, Edge]:
+    return ("ve", t, e)
+
+
+def near_edges_from_target(
+    tree: ShortestPathTree, target: int, scale: ProblemScale
+) -> List[Tuple[Edge, int]]:
+    """Near edges of the canonical root-``target`` path, walking up from ``t``.
+
+    Returns ``(edge, distance_to_target)`` pairs ordered from ``t`` towards
+    the root.  Only the last ``O(sqrt(n/sigma) log n)`` edges of the path are
+    touched, which is what keeps the whole construction within the paper's
+    size bound.
+    """
+    if not tree.is_reachable(target):
+        return []
+    result: List[Tuple[Edge, int]] = []
+    vertex = target
+    distance = 0
+    limit = scale.near_threshold
+    while distance < limit:
+        parent = tree.parent[vertex]
+        if parent is None:
+            break
+        result.append((normalize_edge(parent, vertex), distance))
+        vertex = parent
+        distance += 1
+    return result
+
+
+class NearSmallTables:
+    """Output of the Section 7.1 construction for one source.
+
+    ``value(t, e)`` returns ``w[t, e]`` (``inf`` when the auxiliary graph has
+    no ``[s] -> [t, e]`` path).  When built with ``with_paths=True`` the
+    corresponding walk in the original graph can be reconstructed, which the
+    Section 8.2.1 enumeration requires.
+    """
+
+    __slots__ = ("source", "_values", "_predecessors", "_tree")
+
+    def __init__(
+        self,
+        source: int,
+        values: Dict[Tuple[int, Edge], float],
+        predecessors: Optional[Dict] = None,
+        tree: Optional[ShortestPathTree] = None,
+    ):
+        self.source = source
+        self._values = values
+        self._predecessors = predecessors
+        self._tree = tree
+
+    def value(self, target: int, edge: Sequence[int]) -> float:
+        """Return ``w[t, e]`` (``math.inf`` when not reachable in ``G_s``)."""
+        e = normalize_edge(int(edge[0]), int(edge[1]))
+        return self._values.get((target, e), math.inf)
+
+    def known_pairs(self) -> List[Tuple[int, Edge]]:
+        """All ``(target, edge)`` pairs with a finite value."""
+        return [key for key, val in self._values.items() if val is not math.inf]
+
+    def walk(self, target: int, edge: Sequence[int]) -> List[int]:
+        """Reconstruct the walk in ``G`` realising ``w[t, e]``.
+
+        Only available when the tables were built with ``with_paths=True``.
+        Returns an empty list when ``[t, e]`` is unreachable in ``G_s``.
+        """
+        if self._predecessors is None or self._tree is None:
+            raise InvalidParameterError(
+                "NearSmallTables was built without path reconstruction support"
+            )
+        e = normalize_edge(int(edge[0]), int(edge[1]))
+        aux_path = reconstruct_path(self._predecessors, _SRC, _ve_node(target, e))
+        if not aux_path:
+            return []
+        walk: List[int] = []
+        for node in aux_path:
+            if node == _SRC:
+                continue
+            kind = node[0]
+            if kind == "v":
+                # The [s] -> [v] hop stands for the canonical s-v tree path.
+                walk.extend(self._tree.path_to(node[1]))
+            else:  # "ve" node contributes its target vertex
+                walk.append(node[1])
+        return walk
+
+
+def compute_near_small_tables(
+    graph: Graph,
+    source: int,
+    tree: ShortestPathTree,
+    scale: ProblemScale,
+    with_paths: bool = False,
+) -> NearSmallTables:
+    """Build ``G_s`` and run Dijkstra on it (Section 7.1).
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    source:
+        The source ``s``.
+    tree:
+        BFS tree rooted at ``source`` (defines the canonical paths).
+    scale:
+        Problem-scale quantities (near threshold).
+    with_paths:
+        Keep Dijkstra predecessors so walks can be reconstructed.
+    """
+    if tree.root != source:
+        raise InvalidParameterError("tree must be rooted at the source")
+
+    builder = AuxiliaryGraphBuilder()
+    builder.add_node(_SRC)
+
+    # Near edges per target, and the set of existing [v, e] nodes.
+    near_edges: Dict[int, List[Edge]] = {}
+    ve_nodes = set()
+    for target in tree.reachable_vertices():
+        if target == source:
+            continue
+        edges = [e for e, _ in near_edges_from_target(tree, target, scale)]
+        if edges:
+            near_edges[target] = edges
+            for e in edges:
+                ve_nodes.add((target, e))
+                builder.add_node(_ve_node(target, e))
+
+    # [s] -> [v] edges.
+    for v in tree.reachable_vertices():
+        builder.add_edge(_SRC, _v_node(v), float(tree.dist[v]))
+
+    # [v] -> [t, e] and [v, e] -> [t, e] edges.
+    for target, edges in near_edges.items():
+        for neighbour in graph.neighbors(target):
+            hop = normalize_edge(neighbour, target)
+            neighbour_reachable = tree.is_reachable(neighbour)
+            for e in edges:
+                if hop == e:
+                    continue
+                if neighbour_reachable and not tree.tree_path_uses_edge(e, neighbour):
+                    builder.add_edge(_v_node(neighbour), _ve_node(target, e), 1.0)
+                if (neighbour, e) in ve_nodes:
+                    builder.add_edge(_ve_node(neighbour, e), _ve_node(target, e), 1.0)
+
+    distances, predecessors = dijkstra(
+        builder.adjacency(), _SRC, with_predecessors=with_paths
+    )
+
+    values: Dict[Tuple[int, Edge], float] = {}
+    for target, e in ve_nodes:
+        values[(target, e)] = distances.get(_ve_node(target, e), math.inf)
+
+    return NearSmallTables(
+        source,
+        values,
+        predecessors=predecessors if with_paths else None,
+        tree=tree if with_paths else None,
+    )

@@ -1,0 +1,183 @@
+"""Result containers for the SSRP / MSRP pipelines.
+
+The output of the MSRP problem is, for every source ``s``, target ``t`` and
+edge ``e`` on the canonical ``s``-``t`` path, the length ``|st <> e|``.
+With ``sigma`` sources this is ``Theta(sigma n^2)`` numbers in the worst
+case (the paper's footnote 2), so the container stores them in nested
+dictionaries keyed by source, then target, then normalised edge, and offers
+a query interface that mirrors the fault-tolerant distance-oracle view of
+Bernstein & Karger.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError, NotOnPathError
+from repro.graph.graph import Edge, normalize_edge
+from repro.graph.tree import ShortestPathTree
+
+#: target -> (edge -> replacement length)
+PerSourceTable = Dict[int, Dict[Edge, float]]
+
+
+class ReplacementPathResult:
+    """Replacement-path lengths for a set of sources.
+
+    Parameters
+    ----------
+    tables:
+        ``tables[s][t][e]`` is ``|st <> e|`` for every edge ``e`` of the
+        canonical ``s``-``t`` path.
+    source_trees:
+        The BFS trees that define the canonical paths; used to answer
+        queries about edges *not* on the path and to reconstruct paths.
+    """
+
+    __slots__ = ("_tables", "_trees")
+
+    def __init__(
+        self,
+        tables: Mapping[int, PerSourceTable],
+        source_trees: Mapping[int, ShortestPathTree],
+    ):
+        self._tables: Dict[int, PerSourceTable] = {int(s): dict(v) for s, v in tables.items()}
+        self._trees: Dict[int, ShortestPathTree] = dict(source_trees)
+        for s in self._tables:
+            if s not in self._trees:
+                raise InvalidParameterError(f"missing source tree for source {s}")
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def sources(self) -> Tuple[int, ...]:
+        """The sources the result covers, in sorted order."""
+        return tuple(sorted(self._tables))
+
+    def source_tree(self, source: int) -> ShortestPathTree:
+        """The BFS tree that defines the canonical paths from ``source``."""
+        self._require_source(source)
+        return self._trees[source]
+
+    def targets(self, source: int) -> List[int]:
+        """Targets for which replacement data is stored for ``source``."""
+        self._require_source(source)
+        return sorted(self._tables[source])
+
+    def table(self, source: int) -> PerSourceTable:
+        """The raw per-source table (target -> edge -> length)."""
+        self._require_source(source)
+        return self._tables[source]
+
+    # -- queries ---------------------------------------------------------------
+
+    def distance(self, source: int, target: int) -> float:
+        """Length of the canonical shortest ``source``-``target`` path."""
+        self._require_source(source)
+        return self._trees[source].distance(target)
+
+    def canonical_path(self, source: int, target: int) -> List[int]:
+        """The canonical shortest ``source``-``target`` path (vertex list)."""
+        self._require_source(source)
+        return self._trees[source].path_to(target)
+
+    def replacement_length(
+        self, source: int, target: int, edge: Sequence[int]
+    ) -> float:
+        """Return ``|st <> e|``.
+
+        Edges that do not lie on the canonical ``source``-``target`` path do
+        not change the distance, so the original shortest distance is
+        returned for them.  ``math.inf`` means removing the edge disconnects
+        the pair.
+        """
+        self._require_source(source)
+        e = normalize_edge(int(edge[0]), int(edge[1]))
+        per_target = self._tables[source].get(target, {})
+        if e in per_target:
+            return per_target[e]
+        tree = self._trees[source]
+        if not tree.is_reachable(target):
+            return math.inf
+        if tree.tree_path_uses_edge(e, target):
+            raise NotOnPathError(
+                f"edge {e} is on the canonical {source}-{target} path but has no "
+                "stored replacement length; the result tables are incomplete"
+            )
+        return tree.distance(target)
+
+    def replacement_lengths(self, source: int, target: int) -> Dict[Edge, float]:
+        """All stored ``edge -> length`` entries for a ``(source, target)`` pair."""
+        self._require_source(source)
+        return dict(self._tables[source].get(target, {}))
+
+    # -- bulk views -------------------------------------------------------------
+
+    def iter_entries(self) -> Iterator[Tuple[int, int, Edge, float]]:
+        """Yield ``(source, target, edge, length)`` for every stored entry."""
+        for s, per_source in self._tables.items():
+            for t, per_target in per_source.items():
+                for e, value in per_target.items():
+                    yield s, t, e, value
+
+    @property
+    def output_size(self) -> int:
+        """Total number of stored ``(s, t, e)`` triples (the ``sigma n^2`` term)."""
+        return sum(
+            len(per_target)
+            for per_source in self._tables.values()
+            for per_target in per_source.values()
+        )
+
+    def to_dict(self) -> Dict[int, PerSourceTable]:
+        """Deep-copy the result into plain nested dictionaries."""
+        return {
+            s: {t: dict(per_target) for t, per_target in per_source.items()}
+            for s, per_source in self._tables.items()
+        }
+
+    # -- comparisons -------------------------------------------------------------
+
+    def differences_from(
+        self, reference: Mapping[int, PerSourceTable]
+    ) -> List[Tuple[int, int, Edge, float, float]]:
+        """Compare against a reference table (e.g. the brute-force oracle).
+
+        Returns a list of ``(source, target, edge, ours, theirs)`` tuples for
+        every entry present in either side whose values differ.  An empty
+        list means the two answers agree exactly.
+        """
+        mismatches: List[Tuple[int, int, Edge, float, float]] = []
+        all_sources = set(self._tables) | set(reference)
+        for s in all_sources:
+            ours_source = self._tables.get(s, {})
+            ref_source = reference.get(s, {})
+            all_targets = set(ours_source) | set(ref_source)
+            for t in all_targets:
+                ours_target = ours_source.get(t, {})
+                ref_target = ref_source.get(t, {})
+                for e in set(ours_target) | set(ref_target):
+                    ours = ours_target.get(e, math.nan)
+                    theirs = ref_target.get(e, math.nan)
+                    if ours != theirs and not (math.isnan(ours) and math.isnan(theirs)):
+                        mismatches.append((s, t, e, ours, theirs))
+        return mismatches
+
+    def matches(self, reference: Mapping[int, PerSourceTable]) -> bool:
+        """``True`` when the result agrees entirely with ``reference``."""
+        return not self.differences_from(reference)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require_source(self, source: int) -> None:
+        if source not in self._tables:
+            raise InvalidParameterError(
+                f"{source} is not one of the result's sources {self.sources}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ReplacementPathResult(sources={len(self._tables)}, "
+            f"entries={self.output_size})"
+        )

@@ -1,0 +1,33 @@
+"""Graph substrate: containers, BFS, shortest-path trees, LCA, generators."""
+
+from repro.graph.bfs import bfs_distances, bfs_tree
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.lca import LCAStructure
+from repro.graph.paths import (
+    concatenate,
+    is_path,
+    path_avoids_edge,
+    path_edges,
+    path_length,
+    validate_path,
+)
+from repro.graph.tree import ShortestPathTree, tree_distance_table
+from repro.graph import generators
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "normalize_edge",
+    "bfs_distances",
+    "bfs_tree",
+    "ShortestPathTree",
+    "tree_distance_table",
+    "LCAStructure",
+    "path_edges",
+    "path_length",
+    "is_path",
+    "validate_path",
+    "path_avoids_edge",
+    "concatenate",
+    "generators",
+]

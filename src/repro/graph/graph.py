@@ -1,0 +1,195 @@
+"""Undirected, unweighted graph container used throughout the library.
+
+The paper works exclusively with undirected, unweighted graphs whose
+vertices we identify with the integers ``0 .. n-1``.  :class:`Graph` stores
+adjacency lists, normalises edges to ``(min(u, v), max(u, v))`` tuples and
+offers the handful of primitives the replacement-path algorithms need:
+neighbour iteration, edge membership tests, and edge enumeration.
+
+The container is deliberately minimal and immutable after construction; the
+algorithms never mutate the input graph (edge deletions are simulated by the
+traversals themselves), which keeps the whole library safe to use from
+multiple threads and makes instances shareable between benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.exceptions import GraphError
+
+#: An undirected edge normalised so that the smaller endpoint comes first.
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical representation of the undirected edge ``{u, v}``.
+
+    The library represents every undirected edge as the tuple
+    ``(min(u, v), max(u, v))`` so that dictionaries and sets keyed by edges
+    behave consistently regardless of traversal direction.
+    """
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """A simple undirected, unweighted graph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices.  Vertices are the integers ``0 .. num_vertices-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Parallel edges are collapsed, self
+        loops are rejected (they can never appear on a shortest path and the
+        paper's model excludes them).
+
+    Notes
+    -----
+    The adjacency lists are sorted, which makes traversal order (and hence
+    every "canonical shortest path" the library talks about) deterministic
+    for a given graph.
+    """
+
+    __slots__ = ("_n", "_adj", "_edges", "_edge_set")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Sequence[int]] = ()):
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be non-negative, got {num_vertices}")
+        self._n = int(num_vertices)
+        adjacency: List[set] = [set() for _ in range(self._n)]
+        edge_set = set()
+        for pair in edges:
+            try:
+                u, v = int(pair[0]), int(pair[1])
+            except (TypeError, IndexError, ValueError) as exc:
+                raise GraphError(f"edge {pair!r} is not a (u, v) pair") from exc
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise GraphError(
+                    f"edge ({u}, {v}) has an endpoint outside 0..{self._n - 1}"
+                )
+            if u == v:
+                raise GraphError(f"self loop at vertex {u} is not allowed")
+            e = normalize_edge(u, v)
+            if e in edge_set:
+                continue
+            edge_set.add(e)
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        self._adj: List[Tuple[int, ...]] = [tuple(sorted(s)) for s in adjacency]
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._edge_set = edge_set
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges ``m``."""
+        return len(self._edges)
+
+    def vertices(self) -> range:
+        """Return the vertex ids as a :class:`range`."""
+        return range(self._n)
+
+    def edges(self) -> Tuple[Edge, ...]:
+        """Return all edges as normalised ``(u, v)`` tuples with ``u < v``."""
+        return self._edges
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Return the sorted neighbours of ``v``."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Return the degree of ``v``."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` when the undirected edge ``{u, v}`` exists."""
+        return normalize_edge(u, v) in self._edge_set
+
+    def has_vertex(self, v: int) -> bool:
+        """Return ``True`` when ``v`` is a valid vertex id."""
+        return 0 <= v < self._n
+
+    # -- convenience -------------------------------------------------------
+
+    def adjacency(self) -> List[Tuple[int, ...]]:
+        """Return the adjacency structure as a list of neighbour tuples.
+
+        The returned list is a shallow copy; the neighbour tuples themselves
+        are immutable.
+        """
+        return list(self._adj)
+
+    def copy(self) -> "Graph":
+        """Return a structural copy of the graph."""
+        return Graph(self._n, self._edges)
+
+    def subgraph_without_edge(self, edge: Sequence[int]) -> "Graph":
+        """Return a new graph equal to ``G - e``.
+
+        This is used only by brute-force baselines and tests; the efficient
+        algorithms never materialise ``G - e``.
+        """
+        e = normalize_edge(int(edge[0]), int(edge[1]))
+        if e not in self._edge_set:
+            raise GraphError(f"edge {e} is not present in the graph")
+        return Graph(self._n, (f for f in self._edges if f != e))
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, int):
+            return self.has_vertex(item)
+        if isinstance(item, tuple) and len(item) == 2:
+            return self.has_edge(int(item[0]), int(item[1]))
+        return False
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Graph(n={self._n}, m={self.num_edges})"
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_edge_list(cls, edges: Iterable[Sequence[int]]) -> "Graph":
+        """Build a graph whose vertex count is inferred from the edge list."""
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        n = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+        return cls(n, edge_list)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "Graph":
+        """Build a graph from an adjacency-list representation."""
+        edges = [
+            (u, v)
+            for u, nbrs in enumerate(adjacency)
+            for v in nbrs
+            if u < v or u not in adjacency[v]
+        ]
+        return cls(len(adjacency), edges)
+
+    def to_networkx(self):  # pragma: no cover - thin conversion helper
+        """Convert to a :mod:`networkx` graph (used by analysis notebooks)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self._edges)
+        return g

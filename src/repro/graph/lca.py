@@ -1,0 +1,127 @@
+"""Least-common-ancestor queries on shortest-path trees (paper Lemma 6).
+
+The paper relies on the classical result of Bender & Farach-Colton: a tree
+on ``n`` vertices can be preprocessed in ``O(n)`` (here ``O(n log n)`` — the
+sparse-table variant, which is the standard practical choice and well within
+the paper's ``O~`` accounting) so that ``LCA(x, y)`` queries take ``O(1)``.
+
+The algorithms in this repository mostly need the *derived* predicate
+"does edge ``e`` lie on the tree path between ``x`` and ``y``", which
+:meth:`LCAStructure.path_uses_edge` answers using one LCA query and two
+ancestor tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import NotOnPathError
+from repro.graph.tree import ShortestPathTree
+
+
+class LCAStructure:
+    """Sparse-table LCA over an Euler tour of a :class:`ShortestPathTree`.
+
+    Parameters
+    ----------
+    tree:
+        The shortest-path tree to preprocess.  Vertices unreachable from the
+        root are simply absent from the tour; querying them raises
+        :class:`~repro.exceptions.NotOnPathError`.
+    """
+
+    __slots__ = ("tree", "_first", "_depth_tour", "_vertex_tour", "_sparse", "_log")
+
+    def __init__(self, tree: ShortestPathTree):
+        self.tree = tree
+        n = tree.num_vertices
+        tour_vertices: List[int] = []
+        tour_depths: List[int] = []
+        first: List[Optional[int]] = [None] * n
+
+        # Iterative Euler tour recording every vertex each time it is entered
+        # or returned to.
+        stack: List[tuple] = [(tree.root, 0)]
+        if not tree.is_reachable(tree.root):
+            raise NotOnPathError("tree root is not reachable from itself")
+        while stack:
+            vertex, child_index = stack.pop()
+            if first[vertex] is None:
+                first[vertex] = len(tour_vertices)
+            tour_vertices.append(vertex)
+            tour_depths.append(int(tree.dist[vertex]))
+            kids = tree.children(vertex)
+            if child_index < len(kids):
+                stack.append((vertex, child_index + 1))
+                stack.append((kids[child_index], 0))
+
+        self._first = first
+        self._vertex_tour = tour_vertices
+        self._depth_tour = tour_depths
+        self._sparse, self._log = self._build_sparse_table(tour_depths)
+
+    @staticmethod
+    def _build_sparse_table(depths: Sequence[int]):
+        length = len(depths)
+        log = [0] * (length + 1)
+        for i in range(2, length + 1):
+            log[i] = log[i // 2] + 1
+        levels = log[length] + 1 if length else 1
+        sparse: List[List[int]] = [list(range(length))]
+        for k in range(1, levels):
+            prev = sparse[k - 1]
+            span = 1 << k
+            row = []
+            for i in range(0, length - span + 1):
+                left = prev[i]
+                right = prev[i + (span >> 1)]
+                row.append(left if depths[left] <= depths[right] else right)
+            sparse.append(row)
+        return sparse, log
+
+    def _argmin_depth(self, lo: int, hi: int) -> int:
+        """Index of the minimum depth in the inclusive tour range [lo, hi]."""
+        k = self._log[hi - lo + 1]
+        left = self._sparse[k][lo]
+        right = self._sparse[k][hi - (1 << k) + 1]
+        return left if self._depth_tour[left] <= self._depth_tour[right] else right
+
+    # -- queries -------------------------------------------------------------
+
+    def lca(self, u: int, v: int) -> int:
+        """Return the least common ancestor of ``u`` and ``v``."""
+        fu, fv = self._first[u], self._first[v]
+        if fu is None or fv is None:
+            raise NotOnPathError(
+                f"vertex {u if fu is None else v} is not in the tree rooted at "
+                f"{self.tree.root}"
+            )
+        lo, hi = (fu, fv) if fu <= fv else (fv, fu)
+        return self._vertex_tour[self._argmin_depth(lo, hi)]
+
+    def tree_distance(self, u: int, v: int) -> int:
+        """Hop distance between ``u`` and ``v`` along tree paths."""
+        w = self.lca(u, v)
+        return int(self.tree.dist[u] + self.tree.dist[v] - 2 * self.tree.dist[w])
+
+    def on_tree_path(self, x: int, u: int, v: int) -> bool:
+        """Is vertex ``x`` on the tree path between ``u`` and ``v``?"""
+        return self.tree_distance(u, x) + self.tree_distance(x, v) == self.tree_distance(
+            u, v
+        )
+
+    def path_uses_edge(self, edge: Sequence[int], u: int, v: int) -> bool:
+        """Does the tree path between ``u`` and ``v`` use ``edge``?
+
+        ``edge`` may be any edge of the underlying graph; non-tree edges are
+        never used by tree paths and return ``False`` immediately.
+        """
+        child = self.tree.edge_child(edge)
+        if child is None:
+            return False
+        parent = self.tree.parent[child]
+        return (
+            self.on_tree_path(child, u, v)
+            and parent is not None
+            and self.on_tree_path(parent, u, v)
+        )

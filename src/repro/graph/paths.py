@@ -1,0 +1,68 @@
+"""Small helpers for reasoning about explicit paths.
+
+The core algorithms only ever report path *lengths* (exactly as the paper
+does), but tests, examples and the Section 8 machinery occasionally need to
+manipulate explicit vertex sequences: validate that a sequence is a path of
+the graph, compute its length, list its edges, or check whether it avoids a
+given edge.  Those helpers live here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Edge, Graph, normalize_edge
+
+
+def path_edges(path: Sequence[int]) -> List[Edge]:
+    """Return the normalised edges of a vertex sequence, in order."""
+    return [normalize_edge(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+
+def path_length(path: Sequence[int]) -> int:
+    """Return the number of edges of a vertex sequence."""
+    return max(0, len(path) - 1)
+
+
+def is_path(graph: Graph, path: Sequence[int]) -> bool:
+    """Return ``True`` when ``path`` is a walk along existing edges.
+
+    The check accepts walks (repeated vertices are allowed) because several
+    correctness arguments in the paper concatenate shortest paths into walks
+    whose length upper-bounds the replacement distance.
+    """
+    if not path:
+        return False
+    if any(not graph.has_vertex(v) for v in path):
+        return False
+    return all(graph.has_edge(path[i], path[i + 1]) for i in range(len(path) - 1))
+
+
+def validate_path(graph: Graph, path: Sequence[int], source: int, target: int) -> None:
+    """Raise :class:`GraphError` unless ``path`` is a ``source``-``target`` walk."""
+    if not is_path(graph, path):
+        raise GraphError(f"{list(path)!r} is not a walk of the graph")
+    if path[0] != source or path[-1] != target:
+        raise GraphError(
+            f"walk endpoints ({path[0]}, {path[-1]}) differ from ({source}, {target})"
+        )
+
+
+def path_avoids_edge(path: Sequence[int], edge: Sequence[int]) -> bool:
+    """Return ``True`` when the vertex sequence never traverses ``edge``."""
+    banned = normalize_edge(int(edge[0]), int(edge[1]))
+    return all(e != banned for e in path_edges(path))
+
+
+def concatenate(first: Sequence[int], second: Sequence[int]) -> List[int]:
+    """Concatenate two walks sharing an endpoint (paper notation ``uv + vy``)."""
+    if not first:
+        return list(second)
+    if not second:
+        return list(first)
+    if first[-1] != second[0]:
+        raise GraphError(
+            f"cannot concatenate walks: {first[-1]} != {second[0]} at the junction"
+        )
+    return list(first) + list(second[1:])

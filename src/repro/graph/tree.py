@@ -1,0 +1,242 @@
+"""Shortest-path (BFS) trees and constant-time structural queries on them.
+
+Every phase of the replacement-path algorithms reasons about *canonical*
+shortest paths, which we fix to be the paths of a breadth-first-search tree
+rooted at the relevant vertex (a source, a landmark, or a center).  The
+:class:`ShortestPathTree` produced by :func:`repro.graph.bfs.bfs_tree`
+therefore carries, besides parents and distances, an Euler tour of the tree
+so the following predicates are answered in ``O(1)``:
+
+* ``is_ancestor(a, x)`` — is ``a`` on the tree path from the root to ``x``?
+* ``tree_path_uses_edge(e, x)`` — does the tree path root ``->`` ``x`` use
+  the tree edge ``e``?  (This is the "does ``e`` lie on the ``s v`` path"
+  predicate used throughout Sections 6-8 of the paper.)
+
+Both reduce to subtree-membership tests on Euler-tour intervals, the same
+technique the paper's Lemma 6 (LCA structure of Bender & Farach-Colton)
+relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError, NotOnPathError
+from repro.graph.graph import Edge, normalize_edge
+
+
+class ShortestPathTree:
+    """A rooted shortest-path tree with O(1) ancestor and path-edge queries.
+
+    Instances are produced by :func:`repro.graph.bfs.bfs_tree`; the
+    constructor is considered internal but is exercised directly by unit
+    tests.
+
+    Parameters
+    ----------
+    root:
+        Root vertex of the tree.
+    parent:
+        ``parent[v]`` is the BFS parent of ``v`` (``None`` for the root and
+        for vertices unreachable from the root).
+    dist:
+        ``dist[v]`` is the hop distance from ``root`` to ``v``
+        (``math.inf`` for unreachable vertices).
+    order:
+        Vertices in the order BFS dequeued them (root first).  Used by
+        callers that need a top-down traversal order.
+    """
+
+    __slots__ = (
+        "root",
+        "parent",
+        "dist",
+        "order",
+        "_children",
+        "_tin",
+        "_tout",
+        "_tree_edge_child",
+    )
+
+    def __init__(
+        self,
+        root: int,
+        parent: Sequence[Optional[int]],
+        dist: Sequence[float],
+        order: Sequence[int],
+    ):
+        self.root = root
+        self.parent: List[Optional[int]] = list(parent)
+        self.dist: List[float] = list(dist)
+        self.order: List[int] = list(order)
+        n = len(self.parent)
+        children: List[List[int]] = [[] for _ in range(n)]
+        tree_edge_child: Dict[Edge, int] = {}
+        for v, p in enumerate(self.parent):
+            if p is None:
+                continue
+            children[p].append(v)
+            tree_edge_child[normalize_edge(p, v)] = v
+        self._children = children
+        self._tree_edge_child = tree_edge_child
+        self._tin, self._tout = self._euler_intervals(n)
+
+    # -- construction helpers ----------------------------------------------
+
+    def _euler_intervals(self, n: int) -> Tuple[List[int], List[int]]:
+        """Compute entry/exit times of an iterative DFS over the tree."""
+        tin = [-1] * n
+        tout = [-1] * n
+        timer = 0
+        # Iterative DFS to avoid recursion limits on path-like graphs.
+        stack: List[Tuple[int, int]] = [(self.root, 0)]
+        if not (0 <= self.root < n):
+            raise GraphError(f"root {self.root} outside vertex range 0..{n - 1}")
+        while stack:
+            vertex, child_index = stack.pop()
+            if child_index == 0:
+                tin[vertex] = timer
+                timer += 1
+            kids = self._children[vertex]
+            if child_index < len(kids):
+                stack.append((vertex, child_index + 1))
+                stack.append((kids[child_index], 0))
+            else:
+                tout[vertex] = timer
+                timer += 1
+        return tin, tout
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the underlying graph (not of the tree)."""
+        return len(self.parent)
+
+    def distance(self, v: int) -> float:
+        """Hop distance from the root to ``v`` (``math.inf`` if unreachable)."""
+        return self.dist[v]
+
+    def is_reachable(self, v: int) -> bool:
+        """Return ``True`` when ``v`` is in the same component as the root."""
+        return v == self.root or self.parent[v] is not None
+
+    def children(self, v: int) -> Sequence[int]:
+        """Return the children of ``v`` in the tree."""
+        return tuple(self._children[v])
+
+    # -- structural queries --------------------------------------------------
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Return ``True`` when ``ancestor`` lies on the root->``descendant``
+        tree path (a vertex is an ancestor of itself)."""
+        if not self.is_reachable(descendant) or not self.is_reachable(ancestor):
+            return False
+        return (
+            self._tin[ancestor] <= self._tin[descendant]
+            and self._tout[descendant] <= self._tout[ancestor]
+        )
+
+    def is_tree_edge(self, edge: Sequence[int]) -> bool:
+        """Return ``True`` when ``edge`` is an edge of the tree."""
+        return normalize_edge(int(edge[0]), int(edge[1])) in self._tree_edge_child
+
+    def edge_child(self, edge: Sequence[int]) -> Optional[int]:
+        """Return the lower (child) endpoint of a tree edge, or ``None``.
+
+        For a tree edge ``(p, c)`` with ``p = parent[c]`` the child ``c`` is
+        the endpoint farther from the root; its subtree is exactly the set of
+        vertices whose root path uses the edge.
+        """
+        return self._tree_edge_child.get(normalize_edge(int(edge[0]), int(edge[1])))
+
+    def tree_path_uses_edge(self, edge: Sequence[int], target: int) -> bool:
+        """Does the canonical root->``target`` path use the edge ``edge``?
+
+        Non-tree edges are never used by tree paths; for a tree edge the
+        answer is a subtree-membership test on its child endpoint.
+        """
+        child = self.edge_child(edge)
+        if child is None:
+            return False
+        return self.is_ancestor(child, target)
+
+    def path_to(self, target: int) -> List[int]:
+        """Return the canonical root->``target`` path as a vertex list.
+
+        Raises
+        ------
+        NotOnPathError
+            If ``target`` is unreachable from the root.
+        """
+        if not self.is_reachable(target):
+            raise NotOnPathError(
+                f"vertex {target} is unreachable from root {self.root}"
+            )
+        path = [target]
+        v = target
+        while v != self.root:
+            v = self.parent[v]  # type: ignore[assignment]
+            path.append(v)
+        path.reverse()
+        return path
+
+    def path_edges_to(self, target: int) -> List[Edge]:
+        """Return the edges of the canonical root->``target`` path, ordered
+        from the root towards ``target`` and normalised."""
+        path = self.path_to(target)
+        return [normalize_edge(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+    def deepest_path_ancestor_indices(self, path: Sequence[int]) -> List[int]:
+        """For every vertex return the index of its deepest ancestor on ``path``.
+
+        ``path`` must be a root-to-vertex tree path (``path[0] == root``).
+        The returned list ``a`` satisfies: ``a[x]`` is the largest index ``j``
+        such that ``path[j]`` is an ancestor of ``x``, or ``-1`` when ``x`` is
+        unreachable.  Computed in a single top-down sweep, ``O(n)``.
+
+        This is the quantity the classical replacement-path algorithm uses to
+        decide, for every failed path edge ``e_i``, whether the canonical
+        root->``x`` path avoids ``e_i`` (it does iff ``a[x] <= i``).
+        """
+        if not path or path[0] != self.root:
+            raise NotOnPathError("path must start at the tree root")
+        n = self.num_vertices
+        index_on_path = {v: i for i, v in enumerate(path)}
+        result = [-1] * n
+        for v in self.order:
+            if v in index_on_path:
+                result[v] = index_on_path[v]
+            else:
+                p = self.parent[v]
+                result[v] = result[p] if p is not None else -1
+        return result
+
+    def subtree_size(self, v: int) -> int:
+        """Return the number of vertices in the subtree rooted at ``v``."""
+        if not self.is_reachable(v):
+            return 0
+        # Euler intervals contain one entry and one exit per subtree vertex.
+        return (self._tout[v] - self._tin[v] + 1) // 2
+
+    def reachable_vertices(self) -> List[int]:
+        """Return the vertices reachable from the root (the BFS order)."""
+        return list(self.order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        reachable = len(self.order)
+        return (
+            f"ShortestPathTree(root={self.root}, n={self.num_vertices}, "
+            f"reachable={reachable})"
+        )
+
+
+def tree_distance_table(tree: ShortestPathTree) -> Dict[int, float]:
+    """Return a ``vertex -> distance`` mapping for the reachable vertices.
+
+    The paper stores BFS distances in a hash table (Lemma 5); Python's dict
+    plays that role.  Unreachable vertices are omitted so membership in the
+    table doubles as a reachability test.
+    """
+    return {v: tree.dist[v] for v in tree.order if tree.dist[v] is not math.inf}

@@ -1,0 +1,17 @@
+"""The Section 9 conditional lower bound: BMM reduced to MSRP."""
+
+from repro.lowerbound.bmm import (
+    ReductionInstance,
+    build_reduction_instance,
+    count_reduction_graphs,
+    multiply_naive,
+    multiply_via_msrp,
+)
+
+__all__ = [
+    "multiply_naive",
+    "multiply_via_msrp",
+    "build_reduction_instance",
+    "count_reduction_graphs",
+    "ReductionInstance",
+]

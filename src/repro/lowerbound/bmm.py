@@ -1,0 +1,260 @@
+"""Boolean matrix multiplication via MSRP (paper Section 9, Theorem 28).
+
+The paper's conditional lower bound reduces combinatorial Boolean matrix
+multiplication (BMM) to the MSRP problem: if MSRP could be solved much
+faster than ``m sqrt(n sigma)`` by a combinatorial algorithm, BMM would be
+truly subcubic, contradicting the BMM conjecture (Conjecture 27).
+
+This module implements both directions of that relationship so the
+reduction can be exercised and measured:
+
+* :func:`multiply_naive` — the straightforward combinatorial BMM used as
+  ground truth,
+* :func:`build_reduction_instance` — the Theorem 28 gadget graph for one
+  block of rows,
+* :func:`multiply_via_msrp` — runs the MSRP solver on every gadget graph
+  and decodes the product matrix from replacement distances.
+
+Matrices are represented as lists of lists of 0/1 integers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.msrp import multiple_source_replacement_paths
+from repro.core.params import AlgorithmParams
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+
+BooleanMatrix = List[List[int]]
+
+
+def _validate_matrix(matrix: Sequence[Sequence[int]], name: str) -> int:
+    size = len(matrix)
+    for row in matrix:
+        if len(row) != size:
+            raise InvalidParameterError(f"matrix {name} must be square")
+        for value in row:
+            if value not in (0, 1):
+                raise InvalidParameterError(f"matrix {name} must be Boolean (0/1)")
+    return size
+
+
+def multiply_naive(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> BooleanMatrix:
+    """Combinatorial Boolean matrix product ``C = A x B`` (ground truth).
+
+    Runs in ``O(n * m)`` where ``m`` is the number of ones, by iterating
+    only over the one-entries of ``A`` — the combinatorial model the BMM
+    conjecture (Conjecture 27) is stated for.
+    """
+    size = _validate_matrix(a, "A")
+    if _validate_matrix(b, "B") != size:
+        raise InvalidParameterError("matrices A and B must have equal dimensions")
+    product: BooleanMatrix = [[0] * size for _ in range(size)]
+    for x in range(size):
+        row_out = product[x]
+        for y in range(size):
+            if a[x][y]:
+                row_b = b[y]
+                for z in range(size):
+                    if row_b[z]:
+                        row_out[z] = 1
+    return product
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """One gadget graph of the Theorem 28 reduction.
+
+    Attributes
+    ----------
+    graph:
+        The gadget graph.
+    sources:
+        The MSRP source set (one chain endpoint per chain).
+    rows:
+        ``rows[j]`` is the matrix row handled by attachment ``j`` (``None``
+        when the attachment is padding beyond the last row).
+    chain_positions:
+        For every attachment index ``j``, its 1-based position inside its
+        chain and the chain's source vertex.
+    failure_edges:
+        For every attachment index ``j``, the chain edge whose failure
+        isolates the attachments below it (``None`` for the first position
+        of a chain, where no failure is needed).
+    c_vertices:
+        ``c_vertices[z]`` is the gadget vertex representing column ``z``.
+    chain_length:
+        Number of attachments per chain (the paper's ``sqrt(n / sigma)``).
+    """
+
+    graph: Graph
+    sources: Tuple[int, ...]
+    rows: Tuple[Optional[int], ...]
+    chain_positions: Tuple[Tuple[int, int], ...]
+    failure_edges: Tuple[Optional[Tuple[int, int]], ...]
+    c_vertices: Tuple[int, ...]
+    chain_length: int
+
+
+def build_reduction_instance(
+    a: Sequence[Sequence[int]],
+    b: Sequence[Sequence[int]],
+    first_row: int,
+    num_sources: int,
+    chain_length: int,
+) -> ReductionInstance:
+    """Build the gadget graph covering rows ``first_row .. first_row + rows-1``.
+
+    The gadget follows the paper's construction: three vertex layers
+    ``a(x)``, ``b(y)``, ``c(z)`` carrying the edges of ``A`` and ``B``,
+    ``num_sources`` disjoint chains of ``chain_length`` attachment vertices
+    each, and one "staircase" attachment path from the ``j``-th chain vertex
+    to the ``a`` vertex of the row it handles, whose length grows with the
+    position inside the chain so that distinct rows are distinguished by
+    distinct replacement distances.
+    """
+    size = len(a)
+    rows_per_graph = num_sources * chain_length
+
+    edges: List[Tuple[int, int]] = []
+    a_base = 0
+    b_base = size
+    c_base = 2 * size
+    next_vertex = 3 * size
+
+    for x in range(size):
+        for y in range(size):
+            if a[x][y]:
+                edges.append((a_base + x, b_base + y))
+            if b[x][y]:
+                edges.append((b_base + x, c_base + y))
+
+    # Chains of attachment vertices: v-vertices, one chain per source.
+    v_vertices: List[int] = []
+    for _ in range(rows_per_graph):
+        v_vertices.append(next_vertex)
+        next_vertex += 1
+    sources: List[int] = []
+    for chain in range(num_sources):
+        start = chain * chain_length
+        for offset in range(chain_length - 1):
+            edges.append((v_vertices[start + offset], v_vertices[start + offset + 1]))
+        sources.append(v_vertices[start + chain_length - 1])
+
+    rows: List[Optional[int]] = []
+    chain_positions: List[Tuple[int, int]] = []
+    failure_edges: List[Optional[Tuple[int, int]]] = []
+    for j in range(rows_per_graph):
+        row = first_row + j
+        chain = j // chain_length
+        position = (j % chain_length) + 1  # 1-based position inside the chain
+        source = v_vertices[chain * chain_length + chain_length - 1]
+        chain_positions.append((position, source))
+        if position == 1:
+            failure_edges.append(None)
+        else:
+            failure_edges.append(
+                (v_vertices[j - 1], v_vertices[j])
+            )
+        if row >= size:
+            rows.append(None)
+            continue
+        rows.append(row)
+        # Attachment path from v(j) to a(row) with 2*(position-1)+1 interior
+        # vertices, i.e. 2*position edges.
+        interior = 2 * (position - 1) + 1
+        previous = v_vertices[j]
+        for _ in range(interior):
+            edges.append((previous, next_vertex))
+            previous = next_vertex
+            next_vertex += 1
+        edges.append((previous, a_base + row))
+
+    graph = Graph(next_vertex, edges)
+    return ReductionInstance(
+        graph=graph,
+        sources=tuple(sources),
+        rows=tuple(rows),
+        chain_positions=tuple(chain_positions),
+        failure_edges=tuple(failure_edges),
+        c_vertices=tuple(c_base + z for z in range(size)),
+        chain_length=chain_length,
+    )
+
+
+def multiply_via_msrp(
+    a: Sequence[Sequence[int]],
+    b: Sequence[Sequence[int]],
+    num_sources: Optional[int] = None,
+    params: Optional[AlgorithmParams] = None,
+    landmark_strategy: str = "direct",
+) -> BooleanMatrix:
+    """Compute ``C = A x B`` through the Theorem 28 reduction.
+
+    Parameters
+    ----------
+    a, b:
+        Square Boolean matrices of equal size.
+    num_sources:
+        The ``sigma`` used per gadget graph (defaults to
+        ``ceil(sqrt(size))``, the balanced choice).
+    params, landmark_strategy:
+        Forwarded to the MSRP solver.
+
+    Notes
+    -----
+    Row ``r`` handled by chain position ``p`` of some source ``s`` satisfies
+    ``C[r][z] = 1`` iff the ``s``-to-``c(z)`` distance avoiding the chain
+    edge below position ``p`` equals ``chain_length + p + 2`` — the length
+    of the route chain -> attachment path -> a(r) -> b -> c(z).  Larger
+    distances mean the column is reached only through other rows.
+    """
+    size = _validate_matrix(a, "A")
+    if _validate_matrix(b, "B") != size:
+        raise InvalidParameterError("matrices A and B must have equal dimensions")
+    if size == 0:
+        return []
+    if num_sources is None:
+        num_sources = max(1, int(round(math.sqrt(size))))
+    num_sources = max(1, min(num_sources, size))
+    chain_length = max(1, math.ceil(math.sqrt(size / num_sources)))
+    rows_per_graph = num_sources * chain_length
+
+    product: BooleanMatrix = [[0] * size for _ in range(size)]
+    first_row = 0
+    while first_row < size:
+        instance = build_reduction_instance(
+            a, b, first_row, num_sources, chain_length
+        )
+        result = multiple_source_replacement_paths(
+            instance.graph,
+            instance.sources,
+            params=params,
+            landmark_strategy=landmark_strategy,
+        )
+        for j, row in enumerate(instance.rows):
+            if row is None:
+                continue
+            position, source = instance.chain_positions[j]
+            failure = instance.failure_edges[j]
+            expected = instance.chain_length + position + 2
+            for z, c_vertex in enumerate(instance.c_vertices):
+                if failure is None:
+                    distance = result.distance(source, c_vertex)
+                else:
+                    distance = result.replacement_length(source, c_vertex, failure)
+                if distance == expected:
+                    product[row][z] = 1
+        first_row += rows_per_graph
+    return product
+
+
+def count_reduction_graphs(size: int, num_sources: int) -> int:
+    """Number of gadget graphs the reduction builds (the paper's sqrt(n/sigma))."""
+    chain_length = max(1, math.ceil(math.sqrt(size / max(1, num_sources))))
+    rows_per_graph = max(1, num_sources) * chain_length
+    return math.ceil(size / rows_per_graph)

@@ -1,0 +1,285 @@
+"""Path cover lemma, MTC terms and bottleneck edges (Sections 8.3, Lemmas 16-25).
+
+For an edge ``e`` lying in the interval ``[c1, c2]`` of a canonical
+``s``-``r`` path, the path cover lemma (Lemma 16 / 24) states::
+
+    sr <> e = min( |s c1| + (c1 r <> e),          # passes through c1
+                   (s c2 <> e) + |c2 r|,          # passes through c2
+                   sr <> B[s, r, i] )             # avoids the interval
+
+The first two terms are the *minimum through centers* (MTC, Definition 17)
+and come from the Section 8.1/8.2 tables; the third term avoids the
+interval's *bottleneck edge* ``B[s, r, i]`` — the edge of the interval whose
+replacement path is longest — and is computed by one more auxiliary-graph
+Dijkstra per source (Section 8.3.2, Lemma 25).
+
+This module provides:
+
+* :class:`MTCEvaluator` — evaluates MTC terms with the proper fallbacks
+  ("the failed edge is not on the canonical path, so the plain distance is
+  realisable").
+* :func:`find_bottleneck_edges` — Section 8.3.1, the per-interval argmax of
+  the MTC value.
+* :func:`compute_interval_avoiding_tables` — Section 8.3.2, the per-source
+  auxiliary graph whose Dijkstra distances are ``sr <> B[s, r, i]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.near_small import NearSmallTables
+from repro.graph.graph import Edge, normalize_edge
+from repro.graph.tree import ShortestPathTree
+from repro.multisource.intervals import PathInterval
+from repro.multisource.tables import PairEdgeTable
+from repro.rp.dijkstra import AuxiliaryGraphBuilder, dijkstra
+
+
+class MTCEvaluator:
+    """Evaluates the *minimum through centers* term for one source.
+
+    Parameters
+    ----------
+    source:
+        The source ``s``.
+    source_tree:
+        Canonical BFS tree rooted at ``s``.
+    source_to_center:
+        The Section 8.1 table ``(center, edge) -> d(s, center, edge)``.
+    center_to_landmark:
+        Per-center Section 8.2 tables
+        ``center -> (landmark, edge) -> d(center, landmark, edge)``.
+    center_trees:
+        BFS trees of the centers (distance and path-membership fallbacks).
+    """
+
+    __slots__ = (
+        "source",
+        "_source_tree",
+        "_source_to_center",
+        "_center_to_landmark",
+        "_center_trees",
+    )
+
+    def __init__(
+        self,
+        source: int,
+        source_tree: ShortestPathTree,
+        source_to_center: PairEdgeTable,
+        center_to_landmark: Mapping[int, PairEdgeTable],
+        center_trees: Mapping[int, ShortestPathTree],
+    ):
+        self.source = source
+        self._source_tree = source_tree
+        self._source_to_center = source_to_center
+        self._center_to_landmark = center_to_landmark
+        self._center_trees = center_trees
+
+    # -- table lookups with realisable fallbacks -------------------------------
+
+    def source_to_center(self, center: int, edge: Edge) -> float:
+        """``d(s, center, edge)`` — never an underestimate."""
+        value = self._source_to_center.get((center, edge))
+        if value is not None:
+            return value
+        if not self._source_tree.is_reachable(center):
+            return math.inf
+        if not self._source_tree.tree_path_uses_edge(edge, center):
+            return float(self._source_tree.dist[center])
+        return math.inf
+
+    def center_to_landmark(self, center: int, landmark: int, edge: Edge) -> float:
+        """``d(center, landmark, edge)`` — never an underestimate."""
+        table = self._center_to_landmark.get(center)
+        if table is not None:
+            value = table.get((landmark, edge))
+            if value is not None:
+                return value
+        tree = self._center_trees.get(center)
+        if tree is None or not tree.is_reachable(landmark):
+            return math.inf
+        if not tree.tree_path_uses_edge(edge, landmark):
+            return float(tree.dist[landmark])
+        return math.inf
+
+    # -- the MTC term -----------------------------------------------------------
+
+    def mtc(
+        self,
+        landmark: int,
+        path_length: int,
+        interval: PathInterval,
+        edge: Edge,
+    ) -> float:
+        """Evaluate ``MTC(s, landmark, edge)`` for an edge of ``interval``.
+
+        ``path_length`` is the number of edges of the canonical
+        ``s``-``landmark`` path.  Both terms are realisable walks avoiding
+        ``edge``, so the result never underestimates ``sr <> e``.
+        """
+        best = math.inf
+
+        # Through the interval's left endpoint c1 (always a center: it is
+        # either the source or an interior milestone).
+        c1 = interval.start_vertex
+        if c1 in self._center_trees:
+            term = interval.start_index + self.center_to_landmark(c1, landmark, edge)
+            best = min(best, term)
+
+        # Through the interval's right endpoint c2.  When the interval ends
+        # at the landmark itself the term degenerates (it only helps when
+        # the landmark happens to be a center with a stored table entry);
+        # the lookup fallbacks keep it realisable in every case.
+        c2 = interval.end_vertex
+        suffix = path_length - interval.end_index
+        term = self.source_to_center(c2, edge) + suffix
+        best = min(best, term)
+        return best
+
+
+def find_bottleneck_edges(
+    path: Sequence[int],
+    intervals: Sequence[PathInterval],
+    landmark: int,
+    evaluator: MTCEvaluator,
+) -> Dict[int, Tuple[Edge, int]]:
+    """Section 8.3.1: the max-MTC edge of every interval of one path.
+
+    Returns ``interval ordinal -> (bottleneck edge, its edge index)``.
+    Because every edge of an interval shares the same "avoid the interval"
+    term, the edge maximising the MTC value also maximises the true
+    replacement length (Lemma 24), so it is the bottleneck edge.
+    """
+    path_length = len(path) - 1
+    bottlenecks: Dict[int, Tuple[Edge, int]] = {}
+    for interval in intervals:
+        best_edge: Optional[Edge] = None
+        best_index = -1
+        best_value = -1.0
+        for edge_index in range(interval.start_index, interval.end_index):
+            edge = normalize_edge(path[edge_index], path[edge_index + 1])
+            value = evaluator.mtc(landmark, path_length, interval, edge)
+            if best_edge is None or value > best_value:
+                best_edge, best_index, best_value = edge, edge_index, value
+        if best_edge is not None:
+            bottlenecks[interval.ordinal] = (best_edge, best_index)
+    return bottlenecks
+
+
+def compute_interval_avoiding_tables(
+    source: int,
+    source_tree: ShortestPathTree,
+    landmark_paths: Mapping[int, Sequence[int]],
+    landmark_intervals: Mapping[int, Sequence[PathInterval]],
+    bottlenecks: Mapping[int, Mapping[int, Tuple[Edge, int]]],
+    landmark_trees: Mapping[int, ShortestPathTree],
+    evaluator: MTCEvaluator,
+    near_small: NearSmallTables,
+) -> Dict[Tuple[int, int], float]:
+    """Section 8.3.2: replacement paths avoiding each interval's bottleneck.
+
+    Parameters
+    ----------
+    landmark_paths / landmark_intervals / bottlenecks:
+        Per-landmark canonical paths, their interval decompositions and the
+        bottleneck edge of each interval (from :func:`find_bottleneck_edges`).
+    evaluator:
+        The MTC evaluator for this source (provides the ``MTC`` edge
+        weights of the auxiliary graph).
+    near_small:
+        Section 7.1 tables for this source (small replacement paths seed
+        direct ``[s] -> [s, r, i]`` edges).
+
+    Returns
+    -------
+    dict
+        ``(landmark, interval ordinal) -> |sr <> B[s, r, i]|``.
+    """
+    builder = AuxiliaryGraphBuilder()
+    src_node = ("s",)
+    builder.add_node(src_node)
+
+    landmarks = sorted(landmark_paths)
+
+    # Index: for every landmark, map a path-edge index to its interval.
+    interval_of_index: Dict[int, Dict[int, PathInterval]] = {}
+    for landmark in landmarks:
+        mapping: Dict[int, PathInterval] = {}
+        for interval in landmark_intervals[landmark]:
+            for edge_index in range(interval.start_index, interval.end_index):
+                mapping[edge_index] = interval
+        interval_of_index[landmark] = mapping
+
+    # [s] -> [r] edges.
+    for landmark in landmarks:
+        builder.add_edge(
+            src_node, ("r", landmark), float(source_tree.dist[landmark])
+        )
+
+    # Per (landmark, interval) node with all four edge families.
+    for landmark in landmarks:
+        path = landmark_paths[landmark]
+        path_length = len(path) - 1
+        for interval in landmark_intervals[landmark]:
+            entry = bottlenecks[landmark].get(interval.ordinal)
+            if entry is None:
+                continue
+            bottleneck_edge, _ = entry
+            node = ("ri", landmark, interval.ordinal)
+            builder.add_node(node)
+
+            # Small replacement path avoiding the bottleneck edge.
+            small_value = near_small.value(landmark, bottleneck_edge)
+            if small_value is not math.inf:
+                builder.add_edge(src_node, node, small_value)
+
+            # MTC term for the bottleneck edge itself.
+            mtc_value = evaluator.mtc(landmark, path_length, interval, bottleneck_edge)
+            if mtc_value is not math.inf:
+                builder.add_edge(src_node, node, mtc_value)
+
+            # Via other landmarks r'.
+            for other in landmarks:
+                if other == landmark:
+                    continue
+                other_tree = landmark_trees[other]
+                if not other_tree.is_reachable(landmark):
+                    continue
+                if other_tree.tree_path_uses_edge(bottleneck_edge, landmark):
+                    continue
+                hop = float(other_tree.dist[landmark])
+
+                if source_tree.tree_path_uses_edge(bottleneck_edge, other):
+                    # The bottleneck lies on the canonical s-r' path: relate
+                    # the node to r''s own interval machinery.
+                    child = source_tree.edge_child(bottleneck_edge)
+                    edge_index = int(source_tree.dist[child]) - 1
+                    other_interval = interval_of_index[other].get(edge_index)
+                    if other_interval is None:
+                        continue
+                    other_length = len(landmark_paths[other]) - 1
+                    mtc_other = evaluator.mtc(
+                        other, other_length, other_interval, bottleneck_edge
+                    )
+                    if mtc_other is not math.inf:
+                        builder.add_edge(src_node, node, mtc_other + hop)
+                    builder.add_edge(
+                        ("ri", other, other_interval.ordinal), node, hop
+                    )
+                else:
+                    # The canonical s-r' path avoids the bottleneck: the
+                    # plain distance |s r'| is realisable.
+                    builder.add_edge(("r", other), node, hop)
+
+    distances, _ = dijkstra(builder.adjacency(), src_node)
+
+    result: Dict[Tuple[int, int], float] = {}
+    for landmark in landmarks:
+        for interval in landmark_intervals[landmark]:
+            if bottlenecks[landmark].get(interval.ordinal) is None:
+                continue
+            node = ("ri", landmark, interval.ordinal)
+            result[(landmark, interval.ordinal)] = distances.get(node, math.inf)
+    return result

@@ -1,0 +1,101 @@
+"""Center sampling with priorities (paper Section 8, first paragraphs).
+
+Section 8 samples a second hierarchy of vertices, the *centers* ``C_k``,
+with the same probabilities as the landmarks (``4 / 2^k * sqrt(sigma/n)``).
+A center's *priority* is the highest level that sampled it; every source is
+added to ``C_0`` so each source is a center of priority at least 0.  The
+interval decomposition of source-to-landmark paths (Definition 15) and the
+auxiliary graphs of Sections 8.1-8.3 are all driven by these priorities.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.params import ProblemScale
+from repro.exceptions import InvalidParameterError
+
+
+class CenterHierarchy:
+    """Sampled center sets ``C_0 .. C_K`` with per-vertex priorities.
+
+    Attributes
+    ----------
+    levels:
+        ``levels[k]`` is the frozen set ``C_k``.
+    priority:
+        Mapping ``vertex -> highest level k with vertex in C_k``; vertices
+        that are not centers are absent.
+    """
+
+    __slots__ = ("levels", "priority", "sources")
+
+    def __init__(self, levels: Sequence[Iterable[int]], sources: Iterable[int]):
+        self.sources: Tuple[int, ...] = tuple(sorted(set(int(s) for s in sources)))
+        built: List[FrozenSet[int]] = [frozenset(int(v) for v in lvl) for lvl in levels]
+        if not built:
+            built = [frozenset()]
+        built[0] = built[0] | frozenset(self.sources)
+        self.levels: Tuple[FrozenSet[int], ...] = tuple(built)
+        priority: Dict[int, int] = {}
+        for k, level in enumerate(self.levels):
+            for v in level:
+                priority[v] = k
+        self.priority = priority
+
+    @classmethod
+    def sample(
+        cls,
+        scale: ProblemScale,
+        sources: Iterable[int],
+        rng: Optional[random.Random] = None,
+    ) -> "CenterHierarchy":
+        """Sample centers with the Definition 3 probabilities."""
+        rng = rng if rng is not None else random.Random(scale.params.seed)
+        levels: List[List[int]] = []
+        for k in range(scale.max_level + 1):
+            probability = scale.sampling_probability(k)
+            if probability >= 1.0:
+                levels.append(list(range(scale.num_vertices)))
+            else:
+                levels.append(
+                    [v for v in range(scale.num_vertices) if rng.random() < probability]
+                )
+        return cls(levels, sources)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def all(self) -> FrozenSet[int]:
+        """Every center (union of all levels plus the sources)."""
+        return frozenset(self.priority)
+
+    @property
+    def max_level(self) -> int:
+        return len(self.levels) - 1
+
+    def level(self, k: int) -> FrozenSet[int]:
+        """Return ``C_k`` (empty beyond the sampled range)."""
+        if k < 0:
+            raise InvalidParameterError("center level must be non-negative")
+        if k >= len(self.levels):
+            return frozenset()
+        return self.levels[k]
+
+    def priority_of(self, vertex: int) -> int:
+        """Priority of ``vertex`` (``-1`` when it is not a center)."""
+        return self.priority.get(vertex, -1)
+
+    def is_center(self, vertex: int) -> bool:
+        return vertex in self.priority
+
+    def level_sizes(self) -> List[int]:
+        return [len(level) for level in self.levels]
+
+    def __len__(self) -> int:
+        return len(self.priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        sizes = ", ".join(str(len(level)) for level in self.levels)
+        return f"CenterHierarchy(sizes=[{sizes}], |C|={len(self.priority)})"

@@ -1,0 +1,250 @@
+"""Orchestration of the Section 8 machinery.
+
+:func:`compute_auxiliary_tables` produces the same
+:class:`~repro.core.landmark_rp.SourceLandmarkTables` interface as the
+direct strategy, but through the paper's Bernstein–Karger adaptation:
+
+1. sample centers with priorities and run BFS from every center,
+2. Section 7.1 tables with path reconstruction (needed by 8.2.1),
+3. Section 8.2.1 — split small replacement paths at the centers they visit,
+4. Section 8.2 — per-center auxiliary graphs: ``d(center, landmark, e)``,
+5. Section 8.1 — per-source auxiliary graphs: ``d(source, center, e)``,
+6. Section 8.3 — bottleneck edges per interval and the interval-avoiding
+   Dijkstra,
+7. assembly via the path cover lemma, taking the minimum over every
+   realisable candidate (small replacement path, MTC, interval-avoiding
+   value, and — for edges close to the landmark, where the path cover
+   lemma's second term degenerates — an Algorithm-4-style scan over the
+   level-0 centers).
+
+Every candidate corresponds to a walk that provably avoids the failed edge,
+so the assembled value never underestimates the true replacement distance;
+the high-probability lemmas of the paper (9, 12, 13, 18-22, 25) guarantee
+that one candidate matches it exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.landmark_rp import PerSourceLandmarkTable, SourceLandmarkTables
+from repro.core.landmarks import LandmarkHierarchy
+from repro.core.near_small import NearSmallTables, compute_near_small_tables
+from repro.core.params import ProblemScale
+from repro.graph.bfs import bfs_tree
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.tree import ShortestPathTree
+from repro.multisource.bottleneck import (
+    MTCEvaluator,
+    compute_interval_avoiding_tables,
+    find_bottleneck_edges,
+)
+from repro.multisource.centers import CenterHierarchy
+from repro.multisource.intervals import PathInterval, decompose_path
+from repro.multisource.tables import (
+    PairEdgeTable,
+    compute_center_to_landmark_tables,
+    compute_small_paths_through_centers,
+    compute_source_to_center_tables,
+)
+
+
+def compute_auxiliary_tables(
+    graph: Graph,
+    scale: ProblemScale,
+    sources: Sequence[int],
+    source_trees: Mapping[int, ShortestPathTree],
+    landmarks: LandmarkHierarchy,
+    landmark_trees: Mapping[int, ShortestPathTree],
+    rng: Optional[random.Random] = None,
+    centers: Optional[CenterHierarchy] = None,
+) -> SourceLandmarkTables:
+    """Compute ``d(s, r, e)`` for all sources and landmarks via Section 8."""
+    rng = rng if rng is not None else random.Random(scale.params.seed)
+    centers = (
+        centers
+        if centers is not None
+        else CenterHierarchy.sample(scale, sources, rng)
+    )
+
+    # BFS trees from every center, reusing the trees we already have.
+    center_trees: Dict[int, ShortestPathTree] = {}
+    for center in sorted(centers.all):
+        if center in source_trees:
+            center_trees[center] = source_trees[center]
+        elif center in landmark_trees:
+            center_trees[center] = landmark_trees[center]
+        else:
+            center_trees[center] = bfs_tree(graph, center)
+
+    # Section 7.1 tables with walk reconstruction (feeds 8.1 and 8.2.1).
+    near_small: Dict[int, NearSmallTables] = {
+        s: compute_near_small_tables(
+            graph, s, source_trees[s], scale, with_paths=True
+        )
+        for s in sources
+    }
+
+    # Section 8.2.1 — small replacement paths split at centers.
+    small_through = compute_small_paths_through_centers(
+        sources, landmarks.union, near_small, centers
+    )
+
+    # Section 8.2 — per-center tables d(c, r, e).
+    center_to_landmark: Dict[int, PairEdgeTable] = {}
+    for center in sorted(centers.all):
+        center_to_landmark[center] = compute_center_to_landmark_tables(
+            center=center,
+            center_tree=center_trees[center],
+            priority=centers.priority_of(center),
+            landmarks=landmarks.union,
+            landmark_trees=landmark_trees,
+            scale=scale,
+            small_through=small_through.get(center),
+        )
+
+    # Sections 8.1, 8.3 and assembly, per source.
+    tables: Dict[int, PerSourceLandmarkTable] = {}
+    for source in sources:
+        tables[source] = _assemble_for_source(
+            graph=graph,
+            scale=scale,
+            source=source,
+            source_tree=source_trees[source],
+            landmarks=landmarks,
+            landmark_trees=landmark_trees,
+            centers=centers,
+            center_trees=center_trees,
+            center_to_landmark=center_to_landmark,
+            near_small=near_small[source],
+        )
+    return SourceLandmarkTables(tables, source_trees, landmarks.union)
+
+
+def _assemble_for_source(
+    graph: Graph,
+    scale: ProblemScale,
+    source: int,
+    source_tree: ShortestPathTree,
+    landmarks: LandmarkHierarchy,
+    landmark_trees: Mapping[int, ShortestPathTree],
+    centers: CenterHierarchy,
+    center_trees: Mapping[int, ShortestPathTree],
+    center_to_landmark: Mapping[int, PairEdgeTable],
+    near_small: NearSmallTables,
+) -> PerSourceLandmarkTable:
+    """Run Sections 8.1 and 8.3 for one source and assemble its tables."""
+    source_to_center = compute_source_to_center_tables(
+        graph=graph,
+        source=source,
+        source_tree=source_tree,
+        centers=centers,
+        center_trees=center_trees,
+        scale=scale,
+        near_small=near_small,
+    )
+    evaluator = MTCEvaluator(
+        source=source,
+        source_tree=source_tree,
+        source_to_center=source_to_center,
+        center_to_landmark=center_to_landmark,
+        center_trees=center_trees,
+    )
+
+    # Canonical paths, interval decompositions, bottleneck edges.
+    landmark_paths: Dict[int, List[int]] = {}
+    landmark_intervals: Dict[int, List[PathInterval]] = {}
+    bottlenecks: Dict[int, Dict[int, Tuple[Edge, int]]] = {}
+    for landmark in sorted(landmarks.union):
+        if landmark == source or not source_tree.is_reachable(landmark):
+            continue
+        path = source_tree.path_to(landmark)
+        intervals = decompose_path(path, centers.priority_of)
+        landmark_paths[landmark] = path
+        landmark_intervals[landmark] = intervals
+        bottlenecks[landmark] = find_bottleneck_edges(
+            path, intervals, landmark, evaluator
+        )
+
+    interval_avoiding = compute_interval_avoiding_tables(
+        source=source,
+        source_tree=source_tree,
+        landmark_paths=landmark_paths,
+        landmark_intervals=landmark_intervals,
+        bottlenecks=bottlenecks,
+        landmark_trees=landmark_trees,
+        evaluator=evaluator,
+        near_small=near_small,
+    )
+
+    level0_centers = sorted(centers.level(0))
+
+    per_source: PerSourceLandmarkTable = {}
+    for landmark in sorted(landmarks.union):
+        if landmark == source:
+            per_source[landmark] = {}
+            continue
+        if landmark not in landmark_paths:
+            per_source[landmark] = {}
+            continue
+        path = landmark_paths[landmark]
+        intervals = landmark_intervals[landmark]
+        path_length = len(path) - 1
+        per_edge: Dict[Edge, float] = {}
+        interval_iter = iter(intervals)
+        current = next(interval_iter)
+        for edge_index in range(path_length):
+            while not current.contains_edge_index(edge_index):
+                current = next(interval_iter)
+            edge = normalize_edge(path[edge_index], path[edge_index + 1])
+            value = min(
+                near_small.value(landmark, edge),
+                evaluator.mtc(landmark, path_length, current, edge),
+                interval_avoiding.get((landmark, current.ordinal), math.inf),
+            )
+            distance_to_landmark = path_length - (edge_index + 1)
+            if distance_to_landmark < scale.near_threshold:
+                value = min(
+                    value,
+                    _near_landmark_candidate(
+                        evaluator, center_trees, level0_centers, landmark, edge
+                    ),
+                )
+            per_edge[edge] = value
+        per_source[landmark] = per_edge
+    return per_source
+
+
+def _near_landmark_candidate(
+    evaluator: MTCEvaluator,
+    center_trees: Mapping[int, ShortestPathTree],
+    level0_centers: Sequence[int],
+    landmark: int,
+    edge: Edge,
+) -> float:
+    """Algorithm-4-style candidate for edges close to the landmark.
+
+    When the failed edge sits in the final interval of the ``s``-``r`` path
+    the path cover lemma's "passes through c2" case degenerates (``c2`` is
+    the landmark itself).  A large replacement path avoiding such an edge
+    has a long suffix, so (as in Lemmas 12/19) a level-0 center lies on it
+    close to the landmark, with a canonical center-landmark path that avoids
+    the edge; scanning the level-0 centers recovers that case.  Every
+    candidate is realisable, so this extra generator can only tighten the
+    minimum, never corrupt it.
+    """
+    best = math.inf
+    for center in level0_centers:
+        tree = center_trees[center]
+        if not tree.is_reachable(landmark):
+            continue
+        if tree.tree_path_uses_edge(edge, landmark):
+            continue
+        candidate = evaluator.source_to_center(center, edge) + float(
+            tree.dist[landmark]
+        )
+        if candidate < best:
+            best = candidate
+    return best

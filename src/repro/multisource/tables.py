@@ -1,0 +1,269 @@
+"""Replacement paths source->center and center->landmark (Sections 8.1-8.2).
+
+These two table families are the ingredients of the *minimum through
+centers* term (Definition 17) of the path cover lemma:
+
+* :func:`compute_source_to_center_tables` — for one source ``s``, the
+  auxiliary graph of Section 8.1 whose Dijkstra distances give
+  ``d(s, c, e)`` for every center ``c`` and every edge ``e`` among the first
+  ``O~(2^k sqrt(n/sigma))`` edges of the canonical ``c``-``s`` path (``k`` =
+  priority of ``c``).
+* :func:`compute_center_to_landmark_tables` — for one center ``c``, the
+  auxiliary graph of Section 8.2 giving ``d(c, r, e)`` for every landmark
+  ``r`` and every edge ``e`` among the first ``O~(2^k sqrt(n/sigma))`` edges
+  of the canonical ``c``-``r`` path.
+* :func:`compute_small_paths_through_centers` — the Section 8.2.1
+  enumeration: reconstruct the *small* replacement paths found by the
+  Section 7.1 Dijkstra and record, for every center they pass through, the
+  length of their suffix from that center; those suffixes seed the
+  ``[c] -> [r, e]`` edges of the Section 8.2 graphs.
+
+Every edge added to an auxiliary graph is guarded by the "does the canonical
+path avoid the failed edge" predicates of the relevant BFS trees, so every
+Dijkstra distance corresponds to a real walk avoiding the failed edge — the
+tables never underestimate the true replacement distance.  Completeness
+(they do not overestimate either) holds with high probability through
+Lemmas 19, 20 and 22.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.near_small import NearSmallTables
+from repro.core.params import ProblemScale
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.tree import ShortestPathTree
+from repro.multisource.centers import CenterHierarchy
+from repro.rp.dijkstra import AuxiliaryGraphBuilder, dijkstra
+
+#: (endpoint, failed edge) -> replacement length
+PairEdgeTable = Dict[Tuple[int, Edge], float]
+
+
+def _edges_towards_root(
+    tree: ShortestPathTree, vertex: int, limit: int
+) -> List[Edge]:
+    """First ``limit`` edges of the canonical ``vertex``-to-root path.
+
+    The edges are returned starting at ``vertex`` and moving towards the
+    root, which matches the paper's "first edges on the ``c s`` path".
+    """
+    edges: List[Edge] = []
+    current = vertex
+    while len(edges) < limit:
+        parent = tree.parent[current]
+        if parent is None:
+            break
+        edges.append(normalize_edge(parent, current))
+        current = parent
+    return edges
+
+
+def _first_edges_from_root(
+    tree: ShortestPathTree, vertex: int, limit: int
+) -> List[Edge]:
+    """First ``limit`` edges of the canonical root-to-``vertex`` path."""
+    if not tree.is_reachable(vertex):
+        return []
+    path = tree.path_to(vertex)
+    count = min(limit, len(path) - 1)
+    return [normalize_edge(path[i], path[i + 1]) for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Section 8.1 — replacement paths from a source to every center
+# ---------------------------------------------------------------------------
+
+
+def compute_source_to_center_tables(
+    graph: Graph,
+    source: int,
+    source_tree: ShortestPathTree,
+    centers: CenterHierarchy,
+    center_trees: Mapping[int, ShortestPathTree],
+    scale: ProblemScale,
+    near_small: NearSmallTables,
+) -> PairEdgeTable:
+    """Build the Section 8.1 auxiliary graph for one source and solve it.
+
+    Returns a table mapping ``(center, edge)`` to the length of the shortest
+    ``source``-``center`` path avoiding ``edge`` for every center ``c`` and
+    every edge among the first ``interval_edge_budget(priority(c))`` edges
+    of the canonical ``c``-``source`` path.
+    """
+    builder = AuxiliaryGraphBuilder()
+    src_node = ("s",)
+    builder.add_node(src_node)
+
+    # Node set: [c] for every reachable center, [c, e] for its budgeted edges.
+    reachable_centers: List[int] = []
+    node_edges: Dict[int, List[Edge]] = {}
+    for center in sorted(centers.all):
+        if not source_tree.is_reachable(center):
+            continue
+        reachable_centers.append(center)
+        budget = scale.interval_edge_budget(centers.priority_of(center))
+        node_edges[center] = _edges_towards_root(source_tree, center, budget)
+
+    existing_ce = {
+        (center, e) for center, edges in node_edges.items() for e in edges
+    }
+
+    # [s] -> [c]  (weight |sc|) and [s] -> [c, e] (small replacement paths).
+    for center in reachable_centers:
+        builder.add_edge(src_node, ("c", center), float(source_tree.dist[center]))
+        for e in node_edges[center]:
+            small_value = near_small.value(center, e)
+            if small_value is not math.inf:
+                builder.add_edge(src_node, ("ce", center, e), small_value)
+            else:
+                builder.add_node(("ce", center, e))
+
+    # [c'] -> [c, e] and [c', e] -> [c, e].
+    for center in reachable_centers:
+        for e in node_edges[center]:
+            target_node = ("ce", center, e)
+            for other in reachable_centers:
+                other_tree = center_trees[other]
+                if not other_tree.is_reachable(center):
+                    continue
+                hop = float(other_tree.dist[center])
+                if other_tree.tree_path_uses_edge(e, center):
+                    continue
+                if not source_tree.tree_path_uses_edge(e, other):
+                    builder.add_edge(("c", other), target_node, hop)
+                if (other, e) in existing_ce:
+                    builder.add_edge(("ce", other, e), target_node, hop)
+
+    distances, _ = dijkstra(builder.adjacency(), src_node)
+
+    table: PairEdgeTable = {}
+    for center, edges in node_edges.items():
+        for e in edges:
+            table[(center, e)] = distances.get(("ce", center, e), math.inf)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Section 8.2.1 — small replacement paths passing through a center
+# ---------------------------------------------------------------------------
+
+
+def compute_small_paths_through_centers(
+    sources: Sequence[int],
+    landmarks: Iterable[int],
+    near_small_with_paths: Mapping[int, NearSmallTables],
+    centers: CenterHierarchy,
+) -> Dict[int, Dict[Tuple[int, Edge], float]]:
+    """Enumerate small replacement paths and split them at centers (8.2.1).
+
+    For every source ``s``, landmark ``r`` and near edge ``e`` with a finite
+    Section 7.1 value, the realised walk is reconstructed; for every center
+    ``c`` on the walk the length of the walk's suffix from (the last
+    occurrence of) ``c`` to ``r`` is recorded.  The result maps each center
+    to ``(landmark, edge) -> suffix length`` and seeds the ``[c] -> [r, e]``
+    edges of the Section 8.2 auxiliary graphs.
+    """
+    landmark_set = set(int(r) for r in landmarks)
+    through: Dict[int, Dict[Tuple[int, Edge], float]] = {}
+    for s in sources:
+        tables = near_small_with_paths[s]
+        for (target, e) in tables.known_pairs():
+            if target not in landmark_set:
+                continue
+            walk = tables.walk(target, e)
+            if not walk:
+                continue
+            last_position: Dict[int, int] = {}
+            for position, vertex in enumerate(walk):
+                if centers.is_center(vertex):
+                    last_position[vertex] = position
+            walk_length = len(walk) - 1
+            for center, position in last_position.items():
+                suffix = float(walk_length - position)
+                per_center = through.setdefault(center, {})
+                key = (target, e)
+                if suffix < per_center.get(key, math.inf):
+                    per_center[key] = suffix
+    return through
+
+
+# ---------------------------------------------------------------------------
+# Section 8.2 — replacement paths from a center to every landmark
+# ---------------------------------------------------------------------------
+
+
+def compute_center_to_landmark_tables(
+    center: int,
+    center_tree: ShortestPathTree,
+    priority: int,
+    landmarks: Iterable[int],
+    landmark_trees: Mapping[int, ShortestPathTree],
+    scale: ProblemScale,
+    small_through: Optional[Mapping[Tuple[int, Edge], float]] = None,
+) -> PairEdgeTable:
+    """Build the Section 8.2 auxiliary graph ``G_c`` for one center.
+
+    Returns ``(landmark, edge) -> length`` where ``edge`` ranges over the
+    first ``interval_edge_budget(priority)`` edges of the canonical
+    ``center``-``landmark`` path.  The returned length upper-bounds the true
+    replacement distance by a realisable walk avoiding the edge, and for
+    every replacement path from a source that passes through the center it
+    is no longer than that path's suffix (Lemma 22), which is exactly what
+    the path cover lemma needs.
+    """
+    small_through = small_through or {}
+    budget = scale.interval_edge_budget(priority)
+
+    builder = AuxiliaryGraphBuilder()
+    src_node = ("c",)
+    builder.add_node(src_node)
+
+    reachable_landmarks: List[int] = []
+    node_edges: Dict[int, List[Edge]] = {}
+    for landmark in sorted(set(int(r) for r in landmarks)):
+        if not center_tree.is_reachable(landmark) or landmark == center:
+            continue
+        reachable_landmarks.append(landmark)
+        node_edges[landmark] = _first_edges_from_root(center_tree, landmark, budget)
+
+    existing_re = {
+        (landmark, e) for landmark, edges in node_edges.items() for e in edges
+    }
+
+    # [c] -> [r] and [c] -> [r, e] (small paths through the center).
+    for landmark in reachable_landmarks:
+        builder.add_edge(src_node, ("r", landmark), float(center_tree.dist[landmark]))
+        for e in node_edges[landmark]:
+            node = ("re", landmark, e)
+            small_value = small_through.get((landmark, e), math.inf)
+            if small_value is not math.inf:
+                builder.add_edge(src_node, node, small_value)
+            else:
+                builder.add_node(node)
+
+    # [r'] -> [r, e] and [r', e] -> [r, e].
+    for landmark in reachable_landmarks:
+        for e in node_edges[landmark]:
+            target_node = ("re", landmark, e)
+            for other in reachable_landmarks:
+                other_tree = landmark_trees[other]
+                if not other_tree.is_reachable(landmark):
+                    continue
+                hop = float(other_tree.dist[landmark])
+                if other_tree.tree_path_uses_edge(e, landmark):
+                    continue
+                if not center_tree.tree_path_uses_edge(e, other):
+                    builder.add_edge(("r", other), target_node, hop)
+                if (other, e) in existing_re:
+                    builder.add_edge(("re", other, e), target_node, hop)
+
+    distances, _ = dijkstra(builder.adjacency(), src_node)
+
+    table: PairEdgeTable = {}
+    for landmark, edges in node_edges.items():
+        for e in edges:
+            table[(landmark, e)] = distances.get(("re", landmark, e), math.inf)
+    return table

@@ -1,0 +1,5 @@
+"""Fault-tolerant distance-oracle facade over the MSRP pipeline."""
+
+from repro.oracle.ftoracle import FaultTolerantDistanceOracle
+
+__all__ = ["FaultTolerantDistanceOracle"]

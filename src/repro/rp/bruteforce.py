@@ -1,0 +1,112 @@
+"""Brute-force replacement-path oracles.
+
+These are the ground-truth implementations every efficient algorithm in the
+repository is tested against, and also the first baseline row of the
+"running-time landscape" experiment (E1).  They recompute a BFS for every
+failed edge:
+
+* single pair  — ``O(len(P) * (m + n))``
+* single source — ``O(n * (m + n))`` (one BFS per tree edge of ``T_s``)
+* multiple sources — ``sigma`` times the single-source cost.
+
+The single-source variant exploits the fact that a failed edge ``e`` only
+matters for targets whose canonical path uses ``e``, i.e. the vertices in
+the ``T_s`` subtree below ``e``; this keeps its output exactly aligned with
+the efficient algorithms (same canonical paths, same set of reported
+``(t, e)`` pairs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bfs import bfs_distances, bfs_tree
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.tree import ShortestPathTree
+
+#: target -> (failed edge -> replacement length)
+SingleSourceAnswer = Dict[int, Dict[Edge, float]]
+#: source -> SingleSourceAnswer
+MultiSourceAnswer = Dict[int, SingleSourceAnswer]
+
+
+def brute_force_single_pair(
+    graph: Graph,
+    source: int,
+    target: int,
+    source_tree: Optional[ShortestPathTree] = None,
+) -> Dict[Edge, float]:
+    """Replacement lengths for every edge of the canonical ``s``-``t`` path."""
+    tree = source_tree if source_tree is not None else bfs_tree(graph, source)
+    if not tree.is_reachable(target) or source == target:
+        return {}
+    answer: Dict[Edge, float] = {}
+    for edge in tree.path_edges_to(target):
+        dist = bfs_distances(graph, source, forbidden_edge=edge)
+        answer[edge] = dist[target]
+    return answer
+
+
+def brute_force_single_source(
+    graph: Graph,
+    source: int,
+    source_tree: Optional[ShortestPathTree] = None,
+) -> SingleSourceAnswer:
+    """Ground-truth SSRP: replacement lengths for every target and failed edge.
+
+    Returns
+    -------
+    dict
+        ``answer[t][e]`` is the length of the shortest ``source``-``t`` path
+        avoiding ``e``, for every ``t`` reachable from ``source`` and every
+        edge ``e`` on the canonical ``source``-``t`` path.
+    """
+    if not graph.has_vertex(source):
+        raise InvalidParameterError(f"source {source} outside vertex range")
+    tree = source_tree if source_tree is not None else bfs_tree(graph, source)
+    answer: SingleSourceAnswer = {
+        t: {} for t in tree.reachable_vertices() if t != source
+    }
+    for child in tree.reachable_vertices():
+        parent = tree.parent[child]
+        if parent is None:
+            continue
+        edge = normalize_edge(parent, child)
+        dist = bfs_distances(graph, source, forbidden_edge=edge)
+        for t in tree.reachable_vertices():
+            if t != source and tree.is_ancestor(child, t):
+                answer[t][edge] = dist[t]
+    return answer
+
+
+def brute_force_multi_source(
+    graph: Graph,
+    sources: Iterable[int],
+) -> MultiSourceAnswer:
+    """Ground-truth MSRP: one brute-force SSRP per source."""
+    answer: MultiSourceAnswer = {}
+    for s in sources:
+        answer[int(s)] = brute_force_single_source(graph, int(s))
+    return answer
+
+
+def replacement_distance(
+    graph: Graph, source: int, target: int, edge: Sequence[int]
+) -> float:
+    """Length of the shortest ``source``-``target`` path avoiding ``edge``.
+
+    A thin convenience wrapper (one BFS on ``G - e``) used by examples and a
+    few spot-check tests; the efficient algorithms never call it.
+    """
+    banned = normalize_edge(int(edge[0]), int(edge[1]))
+    if not graph.has_edge(*banned):
+        raise InvalidParameterError(f"edge {banned} is not in the graph")
+    dist = bfs_distances(graph, source, forbidden_edge=banned)
+    return dist[target]
+
+
+def count_reported_pairs(answer: SingleSourceAnswer) -> int:
+    """Number of ``(t, e)`` pairs in a single-source answer (output volume)."""
+    return sum(len(per_target) for per_target in answer.values())

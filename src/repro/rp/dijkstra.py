@@ -1,0 +1,133 @@
+"""Dijkstra's algorithm over the auxiliary graphs of Sections 7.1, 8.1-8.3.
+
+The paper repeatedly builds a weighted, directed *auxiliary graph* whose
+nodes are tuples such as ``[t]``, ``[t, e]`` or ``[s, r, i]`` and runs
+Dijkstra from a designated source node.  Because these graphs are built on
+the fly and their node identities are tuples rather than dense integers,
+the implementation here works over an adjacency mapping
+``node -> list of (neighbour, weight)`` and returns distances (and
+optionally predecessors, which Section 8.2.1 needs to enumerate the actual
+small replacement paths).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+Node = Hashable
+AdjacencyMap = Mapping[Node, Sequence[Tuple[Node, float]]]
+
+
+def dijkstra(
+    adjacency: AdjacencyMap,
+    source: Node,
+    with_predecessors: bool = False,
+) -> Tuple[Dict[Node, float], Optional[Dict[Node, Node]]]:
+    """Run Dijkstra from ``source`` over an adjacency mapping.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping ``node -> iterable of (neighbour, weight)``.  Nodes missing
+        from the mapping are treated as having no outgoing edges.
+    source:
+        Start node.  It does not need to appear as a key in ``adjacency``.
+    with_predecessors:
+        When ``True`` the second element of the returned tuple maps every
+        settled node (except the source) to its predecessor on a shortest
+        path, allowing path reconstruction.
+
+    Returns
+    -------
+    (distances, predecessors)
+        ``distances`` maps every reachable node to its shortest distance
+        from ``source``.  ``predecessors`` is ``None`` unless requested.
+
+    Notes
+    -----
+    Edge weights must be non-negative; the auxiliary graphs only use BFS
+    distances and unit weights so this always holds.  A defensive check is
+    kept because a negative weight would silently corrupt every downstream
+    replacement distance.
+    """
+    dist: Dict[Node, float] = {source: 0.0}
+    pred: Optional[Dict[Node, Node]] = {} if with_predecessors else None
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Node]] = [(0.0, next(counter), source)]
+    settled = set()
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbour, weight in adjacency.get(node, ()):
+            if weight < 0:
+                raise ValueError(
+                    f"negative weight {weight} on auxiliary edge {node} -> {neighbour}"
+                )
+            candidate = d + weight
+            if candidate < dist.get(neighbour, math.inf):
+                dist[neighbour] = candidate
+                if pred is not None:
+                    pred[neighbour] = node
+                heapq.heappush(heap, (candidate, next(counter), neighbour))
+    return dist, pred
+
+
+def reconstruct_path(
+    predecessors: Mapping[Node, Node], source: Node, target: Node
+) -> List[Node]:
+    """Rebuild the node sequence of a shortest path found by :func:`dijkstra`.
+
+    Returns an empty list when ``target`` was not reached.
+    """
+    if target == source:
+        return [source]
+    if target not in predecessors:
+        return []
+    path = [target]
+    node = target
+    while node != source:
+        node = predecessors[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+class AuxiliaryGraphBuilder:
+    """Incremental builder for the auxiliary graphs of the paper.
+
+    The builders in :mod:`repro.core.near_small` and
+    :mod:`repro.multisource` create many nodes and edges in loops; this tiny
+    helper keeps that code readable and guarantees the adjacency mapping
+    has a uniform shape.
+    """
+
+    __slots__ = ("_adjacency",)
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Node, List[Tuple[Node, float]]] = {}
+
+    def add_node(self, node: Node) -> None:
+        """Ensure ``node`` exists even if it never gains outgoing edges."""
+        self._adjacency.setdefault(node, [])
+
+    def add_edge(self, u: Node, v: Node, weight: float) -> None:
+        """Add the directed edge ``u -> v`` with the given weight."""
+        self._adjacency.setdefault(u, []).append((v, weight))
+        self._adjacency.setdefault(v, [])
+
+    def adjacency(self) -> Dict[Node, List[Tuple[Node, float]]]:
+        """Return the adjacency mapping (no copy; the builder is discarded)."""
+        return self._adjacency
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(v) for v in self._adjacency.values())

@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import AlgorithmParams
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def small_cycle() -> Graph:
+    """A 6-cycle: every edge has a finite replacement path (the long way)."""
+    return generators.cycle_graph(6)
+
+
+@pytest.fixture
+def small_path() -> Graph:
+    """A 7-vertex path: every edge is a bridge (infinite replacements)."""
+    return generators.path_graph(7)
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    """A 4x4 grid: many tied shortest paths."""
+    return generators.grid_graph(4, 4)
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """The 4-vertex diamond: 0-1, 0-2, 1-3, 2-3 plus chord 1-2."""
+    return Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)])
+
+
+@pytest.fixture
+def seeded_params() -> AlgorithmParams:
+    """Deterministic parameters used by the randomised algorithms in tests."""
+    return AlgorithmParams(seed=12345)
+
+
+def random_instance(trial: int, max_n: int = 14, connected: bool = False):
+    """A reproducible random (graph, sources) instance for exhaustive checks."""
+    rng = random.Random(trial)
+    n = rng.randint(2, max_n)
+    if connected:
+        graph = generators.random_connected_graph(n, extra_edges=n, seed=rng.randint(0, 10**9))
+    else:
+        graph = generators.gnp_random_graph(n, rng.uniform(0.15, 0.6), seed=rng.randint(0, 10**9))
+    sigma = rng.randint(1, min(3, n))
+    sources = rng.sample(range(n), sigma)
+    return graph, sources

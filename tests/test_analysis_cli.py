@@ -1,0 +1,93 @@
+"""Tests for the analysis helpers and the command-line interface."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    crossover_point,
+    fit_power_law,
+    geometric_mean,
+    predicted_operations,
+    speedup_table,
+)
+from repro.cli import main
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_exponent(self):
+        xs = [10, 20, 40, 80]
+        ys = [3 * x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(160) == pytest.approx(3 * 160**2)
+
+    def test_noisy_data_still_close(self):
+        xs = [16, 32, 64, 128, 256]
+        ys = [x**1.5 * (1.1 if i % 2 else 0.9) for i, x in enumerate(xs)]
+        fit = fit_power_law(xs, ys)
+        assert 1.3 < fit.exponent < 1.7
+
+    def test_requires_two_positive_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 1], [2, 3])
+
+
+class TestCostModels:
+    def test_known_values(self):
+        assert predicted_operations("bruteforce", 10, 20, 3) == 600
+        assert predicted_operations("msrp", 100, 400, 4) == pytest.approx(
+            400 * math.sqrt(400) + 4 * 100**2
+        )
+
+    def test_ssrp_is_msrp_with_one_source(self):
+        assert predicted_operations("ssrp", 50, 120, 1) == pytest.approx(
+            predicted_operations("msrp", 50, 120, 1)
+        )
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_operations("quantum", 10, 10, 1)
+
+
+class TestSpeedupAndCrossover:
+    def test_speedup_table(self):
+        table = speedup_table({"a": 2.0, "b": 4.0}, reference="a")
+        assert table == {"a": 1.0, "b": 2.0}
+        with pytest.raises(ValueError):
+            speedup_table({"a": 1.0}, reference="zzz")
+
+    def test_crossover_point(self):
+        xs = [1, 2, 3, 4]
+        first = [10, 6, 2, 1]
+        second = [4, 4, 4, 4]
+        x = crossover_point(xs, first, second)
+        assert 2 < x <= 3
+
+    def test_no_crossover(self):
+        assert crossover_point([1, 2], [5, 6], [1, 1]) is math.inf
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestCLI:
+    def test_ssrp_command(self, capsys):
+        assert main(["ssrp", "--n", "30", "--extra-edges", "40", "--seed", "1", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verification against brute force: PASSED" in out
+
+    def test_msrp_command(self, capsys):
+        assert main(["msrp", "--n", "30", "--sigma", "3", "--extra-edges", "50", "--seed", "2"]) == 0
+        assert "output entries" in capsys.readouterr().out
+
+    def test_bmm_command(self, capsys):
+        assert main(["bmm", "--size", "8", "--density", "0.3", "--seed", "3"]) == 0
+        assert "matches naive product: yes" in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""Tests for BFS and the shortest-path-tree queries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError, InvalidParameterError, NotOnPathError
+from repro.graph import generators
+from repro.graph.bfs import bfs_distances, bfs_tree
+from repro.graph.graph import Graph
+from repro.graph.tree import tree_distance_table
+
+
+class TestBFSDistances:
+    def test_path_graph_distances(self):
+        g = generators.path_graph(5)
+        assert bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_is_inf(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1
+        assert dist[2] is math.inf
+
+    def test_forbidden_edge_changes_distance(self):
+        g = generators.cycle_graph(6)
+        assert bfs_distances(g, 0)[3] == 3
+        assert bfs_distances(g, 0, forbidden_edge=(0, 1))[3] == 3
+        assert bfs_distances(g, 0, forbidden_edge=(2, 3))[3] == 3
+        # Removing an edge incident to the target on both routes lengthens it.
+        assert bfs_distances(g, 0, forbidden_edge=(0, 5))[5] == 5
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bfs_distances(generators.path_graph(3), 7)
+
+
+class TestShortestPathTree:
+    def test_parents_and_distances_consistent(self):
+        g = generators.grid_graph(3, 3)
+        tree = bfs_tree(g, 0)
+        for v in g.vertices():
+            parent = tree.parent[v]
+            if parent is not None:
+                assert tree.dist[v] == tree.dist[parent] + 1
+        assert tree.dist[8] == 4
+
+    def test_path_to_matches_distance(self):
+        g = generators.grid_graph(3, 4)
+        tree = bfs_tree(g, 0)
+        for v in g.vertices():
+            path = tree.path_to(v)
+            assert len(path) - 1 == tree.dist[v]
+            assert path[0] == 0 and path[-1] == v
+
+    def test_path_to_unreachable_raises(self):
+        g = Graph(3, [(0, 1)])
+        tree = bfs_tree(g, 0)
+        with pytest.raises(NotOnPathError):
+            tree.path_to(2)
+
+    def test_is_ancestor(self):
+        g = generators.path_graph(5)
+        tree = bfs_tree(g, 0)
+        assert tree.is_ancestor(2, 4)
+        assert tree.is_ancestor(4, 4)
+        assert not tree.is_ancestor(4, 2)
+
+    def test_tree_path_uses_edge(self):
+        g = generators.path_graph(5)
+        tree = bfs_tree(g, 0)
+        assert tree.tree_path_uses_edge((1, 2), 4)
+        assert not tree.tree_path_uses_edge((3, 4), 2)
+
+    def test_non_tree_edge_never_used(self):
+        g = generators.cycle_graph(5)
+        tree = bfs_tree(g, 0)
+        non_tree = [e for e in g.edges() if not tree.is_tree_edge(e)]
+        assert non_tree
+        for e in non_tree:
+            for v in g.vertices():
+                assert not tree.tree_path_uses_edge(e, v)
+
+    def test_edge_child_is_deeper_endpoint(self):
+        g = generators.path_graph(4)
+        tree = bfs_tree(g, 0)
+        assert tree.edge_child((1, 2)) == 2
+        assert tree.edge_child((2, 3)) == 3
+
+    def test_deepest_path_ancestor_indices(self):
+        # Star with a pendant path: 0-1-2-3 plus 1-4.
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (1, 4)])
+        tree = bfs_tree(g, 0)
+        path = tree.path_to(3)  # [0, 1, 2, 3]
+        anc = tree.deepest_path_ancestor_indices(path)
+        assert anc[0] == 0 and anc[1] == 1 and anc[2] == 2 and anc[3] == 3
+        assert anc[4] == 1  # vertex 4 hangs off path vertex 1
+
+    def test_deepest_path_ancestor_requires_root_start(self):
+        g = generators.path_graph(4)
+        tree = bfs_tree(g, 0)
+        with pytest.raises(NotOnPathError):
+            tree.deepest_path_ancestor_indices([1, 2, 3])
+
+    def test_subtree_size(self):
+        g = generators.path_graph(5)
+        tree = bfs_tree(g, 0)
+        assert tree.subtree_size(0) == 5
+        assert tree.subtree_size(3) == 2
+
+    def test_tree_distance_table_skips_unreachable(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        table = tree_distance_table(bfs_tree(g, 0))
+        assert table == {0: 0, 1: 1}
+
+
+class TestPreferPath:
+    def test_prefer_path_becomes_tree_path(self):
+        g = generators.grid_graph(3, 3)
+        tree = bfs_tree(g, 0)
+        path = tree.path_to(8)
+        reverse_tree = bfs_tree(g, 8, prefer_path=list(reversed(path)))
+        assert reverse_tree.path_to(0) == list(reversed(path))
+
+    def test_prefer_path_must_be_shortest(self):
+        g = generators.cycle_graph(6)
+        with pytest.raises(GraphError):
+            bfs_tree(g, 0, prefer_path=[0, 5, 4, 3, 2, 1])  # not a shortest path to 1
+
+    def test_prefer_path_must_start_at_source(self):
+        g = generators.path_graph(4)
+        with pytest.raises(GraphError):
+            bfs_tree(g, 0, prefer_path=[1, 2])

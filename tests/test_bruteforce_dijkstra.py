@@ -1,0 +1,101 @@
+"""Tests for the brute-force oracles and the auxiliary-graph Dijkstra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph import generators
+from repro.graph.bfs import bfs_distances, bfs_tree
+from repro.graph.graph import Graph
+from repro.rp.bruteforce import (
+    brute_force_multi_source,
+    brute_force_single_pair,
+    brute_force_single_source,
+    count_reported_pairs,
+    replacement_distance,
+)
+from repro.rp.dijkstra import AuxiliaryGraphBuilder, dijkstra, reconstruct_path
+
+
+class TestBruteForce:
+    def test_single_pair_matches_per_edge_bfs(self):
+        g = generators.cycle_graph(6)
+        answer = brute_force_single_pair(g, 0, 3)
+        for edge, value in answer.items():
+            assert value == bfs_distances(g, 0, forbidden_edge=edge)[3]
+
+    def test_single_source_covers_exactly_path_edges(self):
+        g = generators.grid_graph(3, 3)
+        tree = bfs_tree(g, 0)
+        answer = brute_force_single_source(g, 0, source_tree=tree)
+        for target, per_edge in answer.items():
+            assert set(per_edge) == set(tree.path_edges_to(target))
+
+    def test_single_source_excludes_source_and_unreachable(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        answer = brute_force_single_source(g, 0)
+        assert 0 not in answer
+        assert 2 not in answer and 3 not in answer
+
+    def test_bridge_failures_are_infinite(self):
+        g = generators.path_graph(4)
+        answer = brute_force_single_source(g, 0)
+        assert answer[3][(1, 2)] is math.inf
+
+    def test_multi_source_shape(self):
+        g = generators.cycle_graph(5)
+        answer = brute_force_multi_source(g, [0, 2])
+        assert set(answer) == {0, 2}
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            brute_force_single_source(generators.path_graph(3), 9)
+
+    def test_replacement_distance_wrapper(self):
+        g = generators.cycle_graph(6)
+        assert replacement_distance(g, 0, 3, (0, 1)) == 3
+        assert replacement_distance(g, 0, 1, (0, 1)) == 5
+        with pytest.raises(InvalidParameterError):
+            replacement_distance(g, 0, 3, (0, 3))
+
+    def test_count_reported_pairs(self):
+        g = generators.path_graph(4)
+        answer = brute_force_single_source(g, 0)
+        # Targets 1, 2, 3 with 1, 2, 3 path edges respectively.
+        assert count_reported_pairs(answer) == 6
+
+
+class TestDijkstra:
+    def test_simple_shortest_paths(self):
+        adjacency = {"a": [("b", 1.0), ("c", 4.0)], "b": [("c", 1.0)], "c": []}
+        dist, _ = dijkstra(adjacency, "a")
+        assert dist == {"a": 0.0, "b": 1.0, "c": 2.0}
+
+    def test_predecessors_reconstruct_path(self):
+        adjacency = {0: [(1, 1.0)], 1: [(2, 1.0)], 2: []}
+        dist, pred = dijkstra(adjacency, 0, with_predecessors=True)
+        assert reconstruct_path(pred, 0, 2) == [0, 1, 2]
+        assert reconstruct_path(pred, 0, 0) == [0]
+        assert reconstruct_path(pred, 0, 99) == []
+
+    def test_unreachable_nodes_absent(self):
+        adjacency = {0: [(1, 1.0)], 2: [(3, 1.0)]}
+        dist, _ = dijkstra(adjacency, 0)
+        assert 3 not in dist
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            dijkstra({0: [(1, -1.0)]}, 0)
+
+    def test_builder_counts(self):
+        builder = AuxiliaryGraphBuilder()
+        builder.add_node("x")
+        builder.add_edge("x", "y", 2.0)
+        builder.add_edge("y", "z", 1.0)
+        assert builder.num_nodes == 3
+        assert builder.num_edges == 2
+        dist, _ = dijkstra(builder.adjacency(), "x")
+        assert dist["z"] == 3.0

@@ -1,0 +1,92 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph import generators
+from repro.graph.bfs import bfs_distances
+
+
+class TestDeterministicGenerators:
+    def test_path_graph(self):
+        g = generators.path_graph(6)
+        assert g.num_edges == 5
+        assert g.degree(0) == 1 and g.degree(3) == 2
+
+    def test_cycle_graph(self):
+        g = generators.cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in g.vertices())
+        with pytest.raises(InvalidParameterError):
+            generators.cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_star_graph(self):
+        g = generators.star_graph(4)
+        assert g.degree(0) == 4
+        assert g.num_edges == 4
+
+    def test_grid_graph(self):
+        g = generators.grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        with pytest.raises(InvalidParameterError):
+            generators.grid_graph(0, 3)
+
+    def test_barbell_graph_has_bridges(self):
+        g = generators.barbell_graph(4, 3)
+        # Removing a bridge edge disconnects the two cliques.
+        dist = bfs_distances(g, 0, forbidden_edge=(3, 8))
+        assert dist[4] is math.inf
+
+
+class TestRandomGenerators:
+    def test_gnp_respects_probability_extremes(self):
+        assert generators.gnp_random_graph(10, 0.0, seed=1).num_edges == 0
+        assert generators.gnp_random_graph(10, 1.0, seed=1).num_edges == 45
+        with pytest.raises(InvalidParameterError):
+            generators.gnp_random_graph(10, 1.5)
+
+    def test_gnp_is_seed_deterministic(self):
+        g1 = generators.gnp_random_graph(20, 0.3, seed=7)
+        g2 = generators.gnp_random_graph(20, 0.3, seed=7)
+        assert g1 == g2
+
+    def test_gnm_edge_count(self):
+        g = generators.gnm_random_graph(12, 20, seed=3)
+        assert g.num_edges == 20
+        with pytest.raises(InvalidParameterError):
+            generators.gnm_random_graph(4, 10)
+
+    def test_random_regular_degree_bound(self):
+        g = generators.random_regular_graph(30, 4, seed=5)
+        assert all(g.degree(v) <= 4 + 1 for v in g.vertices())
+        with pytest.raises(InvalidParameterError):
+            generators.random_regular_graph(4, 4)
+
+    def test_random_connected_graph_is_connected(self):
+        for seed in range(5):
+            g = generators.random_connected_graph(25, extra_edges=10, seed=seed)
+            dist = bfs_distances(g, 0)
+            assert all(d is not math.inf for d in dist)
+
+    def test_path_with_clusters_structure(self):
+        g = generators.path_with_clusters(15, 4, 2, seed=2)
+        assert g.num_vertices == 15 + 2 * 4
+        # The spine is intact.
+        assert all(g.has_edge(i, i + 1) for i in range(14))
+
+    def test_random_sources(self):
+        g = generators.path_graph(10)
+        sources = generators.random_sources(g, 4, seed=9)
+        assert len(set(sources)) == 4
+        assert all(0 <= s < 10 for s in sources)
+        with pytest.raises(InvalidParameterError):
+            generators.random_sources(g, 11)

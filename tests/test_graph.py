@@ -1,0 +1,117 @@
+"""Unit tests for the graph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph, normalize_edge
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_identity_on_sorted_pairs(self):
+        assert normalize_edge(0, 1) == (0, 1)
+
+
+class TestGraphConstruction:
+    def test_basic_counts(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 3)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0,)])
+
+
+class TestGraphQueries:
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2) == (0, 1, 3)
+
+    def test_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_has_edge_is_symmetric(self):
+        g = Graph(3, [(0, 2)])
+        assert g.has_edge(0, 2)
+        assert g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_contains_vertex_and_edge(self):
+        g = Graph(3, [(0, 1)])
+        assert 2 in g
+        assert 3 not in g
+        assert (1, 0) in g
+        assert (1, 2) not in g
+
+    def test_edges_are_normalised_and_sorted(self):
+        g = Graph(4, [(3, 1), (2, 0)])
+        assert g.edges() == ((0, 2), (1, 3))
+
+    def test_equality_and_hash(self):
+        g1 = Graph(3, [(0, 1), (1, 2)])
+        g2 = Graph(3, [(1, 2), (0, 1)])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != Graph(3, [(0, 1)])
+
+
+class TestGraphDerivedViews:
+    def test_subgraph_without_edge(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        h = g.subgraph_without_edge((1, 0))
+        assert h.num_edges == 2
+        assert not h.has_edge(0, 1)
+
+    def test_subgraph_without_missing_edge_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.subgraph_without_edge((1, 2))
+
+    def test_copy_is_equal_but_distinct(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        assert g == h
+        assert g is not h
+
+    def test_from_edge_list_infers_size(self):
+        g = Graph.from_edge_list([(0, 4), (2, 3)])
+        assert g.num_vertices == 5
+
+    def test_from_adjacency(self):
+        g = Graph.from_adjacency([[1], [0, 2], [1]])
+        assert g.num_edges == 2
+        assert g.has_edge(1, 2)
+
+    def test_adjacency_roundtrip(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert Graph.from_adjacency(g.adjacency()) == g

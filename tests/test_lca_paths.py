@@ -1,0 +1,108 @@
+"""Tests for the LCA structure and the explicit-path helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError, NotOnPathError
+from repro.graph import generators
+from repro.graph.bfs import bfs_tree
+from repro.graph.graph import Graph
+from repro.graph.lca import LCAStructure
+from repro.graph.paths import (
+    concatenate,
+    is_path,
+    path_avoids_edge,
+    path_edges,
+    path_length,
+    validate_path,
+)
+
+
+class TestLCA:
+    def test_lca_on_path_graph(self):
+        g = generators.path_graph(8)
+        lca = LCAStructure(bfs_tree(g, 0))
+        assert lca.lca(3, 6) == 3
+        assert lca.lca(6, 3) == 3
+        assert lca.lca(5, 5) == 5
+
+    def test_lca_on_star(self):
+        g = generators.star_graph(5)
+        lca = LCAStructure(bfs_tree(g, 0))
+        assert lca.lca(1, 2) == 0
+        assert lca.lca(0, 3) == 0
+
+    def test_lca_matches_naive_on_random_trees(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            g = generators.random_connected_graph(20, extra_edges=10, seed=rng.randint(0, 10**9))
+            tree = bfs_tree(g, 0)
+            lca = LCAStructure(tree)
+            for _ in range(30):
+                u, v = rng.randrange(20), rng.randrange(20)
+                path_u = set(tree.path_to(u))
+                expected = max(
+                    (w for w in tree.path_to(v) if w in path_u),
+                    key=lambda w: tree.dist[w],
+                )
+                assert lca.lca(u, v) == expected
+
+    def test_tree_distance(self):
+        g = generators.path_graph(10)
+        lca = LCAStructure(bfs_tree(g, 0))
+        assert lca.tree_distance(2, 7) == 5
+
+    def test_on_tree_path(self):
+        g = generators.path_graph(6)
+        lca = LCAStructure(bfs_tree(g, 0))
+        assert lca.on_tree_path(3, 1, 5)
+        assert not lca.on_tree_path(0, 1, 5)
+
+    def test_path_uses_edge(self):
+        g = generators.path_graph(6)
+        lca = LCAStructure(bfs_tree(g, 0))
+        assert lca.path_uses_edge((2, 3), 1, 5)
+        assert not lca.path_uses_edge((0, 1), 2, 5)
+
+    def test_unreachable_vertex_raises(self):
+        g = Graph(3, [(0, 1)])
+        lca = LCAStructure(bfs_tree(g, 0))
+        with pytest.raises(NotOnPathError):
+            lca.lca(0, 2)
+
+
+class TestPathHelpers:
+    def test_path_edges_and_length(self):
+        assert path_edges([3, 1, 2]) == [(1, 3), (1, 2)]
+        assert path_length([3, 1, 2]) == 2
+        assert path_length([7]) == 0
+        assert path_length([]) == 0
+
+    def test_is_path(self):
+        g = generators.cycle_graph(5)
+        assert is_path(g, [0, 1, 2])
+        assert not is_path(g, [0, 2])
+        assert not is_path(g, [])
+        assert not is_path(g, [0, 9])
+
+    def test_validate_path(self):
+        g = generators.cycle_graph(5)
+        validate_path(g, [0, 1, 2], 0, 2)
+        with pytest.raises(GraphError):
+            validate_path(g, [0, 1, 2], 0, 3)
+        with pytest.raises(GraphError):
+            validate_path(g, [0, 2], 0, 2)
+
+    def test_path_avoids_edge(self):
+        assert path_avoids_edge([0, 1, 2], (2, 3))
+        assert not path_avoids_edge([0, 1, 2], (2, 1))
+
+    def test_concatenate(self):
+        assert concatenate([0, 1], [1, 2, 3]) == [0, 1, 2, 3]
+        assert concatenate([], [1, 2]) == [1, 2]
+        assert concatenate([1, 2], []) == [1, 2]
+        with pytest.raises(GraphError):
+            concatenate([0, 1], [2, 3])

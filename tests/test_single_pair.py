@@ -1,0 +1,120 @@
+"""Tests for the classical single-pair replacement-path algorithm.
+
+The cut-formula sweep is the substrate the whole library builds on, so it is
+tested both on hand-constructed instances with known answers and against the
+brute-force oracle on randomised instances (including via hypothesis).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import generators
+from repro.graph.bfs import bfs_tree
+from repro.graph.graph import Graph
+from repro.rp.bruteforce import brute_force_single_pair
+from repro.rp.single_pair import replacement_path_lengths, replacement_paths
+
+
+class TestKnownInstances:
+    def test_cycle_replacements_take_the_long_way(self):
+        g = generators.cycle_graph(7)
+        result = replacement_paths(g, 0, 3)
+        assert result.shortest_distance == 3
+        # Removing any edge of the unique 0-3 path forces the 4-edge detour.
+        assert set(result.lengths.values()) == {4}
+
+    def test_path_graph_has_no_replacements(self):
+        g = generators.path_graph(5)
+        result = replacement_paths(g, 0, 4)
+        assert all(v is math.inf for v in result.lengths.values())
+
+    def test_diamond(self, diamond):
+        result = replacement_paths(diamond, 0, 3)
+        assert result.shortest_distance == 2
+        for edge in result.path_edges():
+            assert result.lengths[edge] in (2, 3)
+
+    def test_unreachable_target(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        result = replacement_paths(g, 0, 3)
+        assert result.path == ()
+        assert result.lengths == {}
+
+    def test_source_equals_target(self):
+        g = generators.cycle_graph(4)
+        result = replacement_paths(g, 2, 2)
+        assert result.path == (2,)
+        assert result.lengths == {}
+
+    def test_get_falls_back_for_off_path_edges(self):
+        g = generators.cycle_graph(6)
+        result = replacement_paths(g, 0, 2)
+        off_path = (3, 4)
+        assert result.get(off_path) == result.shortest_distance
+
+    def test_lengths_wrapper(self):
+        g = generators.cycle_graph(5)
+        assert replacement_path_lengths(g, 0, 2) == replacement_paths(g, 0, 2).lengths
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("trial", range(40))
+    def test_random_graphs(self, trial):
+        rng = random.Random(trial)
+        n = rng.randint(2, 16)
+        g = generators.gnp_random_graph(n, rng.uniform(0.1, 0.7), seed=rng.randint(0, 10**9))
+        s, t = rng.sample(range(n), 2)
+        tree = bfs_tree(g, s)
+        ours = replacement_paths(g, s, t, source_tree=tree).lengths
+        reference = brute_force_single_pair(g, s, t, source_tree=tree)
+        assert ours == reference
+
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: generators.grid_graph(4, 5),
+            lambda: generators.barbell_graph(4, 3),
+            lambda: generators.path_with_clusters(12, 3, 2, seed=1),
+        ],
+    )
+    def test_structured_graphs(self, graph_factory):
+        g = graph_factory()
+        tree = bfs_tree(g, 0)
+        for t in (g.num_vertices - 1, g.num_vertices // 2):
+            ours = replacement_paths(g, 0, t, source_tree=tree).lengths
+            reference = brute_force_single_pair(g, 0, t, source_tree=tree)
+            assert ours == reference
+
+
+@st.composite
+def graph_and_pair(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=3 * n, unique=True)) if possible else []
+    s = draw(st.integers(min_value=0, max_value=n - 1))
+    t = draw(st.integers(min_value=0, max_value=n - 1))
+    return Graph(n, edges), s, t
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_and_pair())
+    def test_matches_brute_force(self, instance):
+        graph, s, t = instance
+        tree = bfs_tree(graph, s)
+        ours = replacement_paths(graph, s, t, source_tree=tree).lengths
+        reference = brute_force_single_pair(graph, s, t, source_tree=tree)
+        assert ours == reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_and_pair())
+    def test_replacement_never_shorter_than_shortest_path(self, instance):
+        graph, s, t = instance
+        result = replacement_paths(graph, s, t)
+        for value in result.lengths.values():
+            assert value >= result.shortest_distance
