@@ -83,6 +83,10 @@ class SourceLandmarkTables:
         """Raw table for one source (landmark -> edge -> length)."""
         return self._tables[source]
 
+    def tree_for(self, source: int) -> ShortestPathTree:
+        """The BFS tree whose distances back the ``query`` fallback."""
+        return self._trees[source]
+
     @property
     def num_entries(self) -> int:
         """Total number of stored ``(s, r, e)`` triples."""

@@ -38,7 +38,7 @@ from repro.core.near_small import NearSmallTables, compute_near_small_tables
 from repro.core.params import AlgorithmParams, ProblemScale
 from repro.core.result import PerSourceTable, ReplacementPathResult
 from repro.exceptions import InternalInvariantError, InvalidParameterError
-from repro.graph.bfs import bfs_tree
+from repro.graph.csr import bfs_many
 from repro.graph.graph import Graph
 from repro.graph.tree import ShortestPathTree
 
@@ -112,13 +112,13 @@ class MSRPSolver:
         self.phase_seconds["sample_landmarks"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        self.source_trees = {s: bfs_tree(self.graph, s) for s in self.sources}
-        self.landmark_trees = {}
-        for landmark in sorted(self.landmarks.union):
-            if landmark in self.source_trees:
-                self.landmark_trees[landmark] = self.source_trees[landmark]
-            else:
-                self.landmark_trees[landmark] = bfs_tree(self.graph, landmark)
+        # One batched sweep over the CSR kernel: the flat form is compiled
+        # once and shared by every root, and a landmark that is also a
+        # source reuses the same tree object.
+        landmark_roots = sorted(self.landmarks.union)
+        trees = bfs_many(self.graph, self.sources + landmark_roots)
+        self.source_trees = {s: trees[s] for s in self.sources}
+        self.landmark_trees = {r: trees[r] for r in landmark_roots}
         self.phase_seconds["bfs_trees"] = time.perf_counter() - start
 
         start = time.perf_counter()

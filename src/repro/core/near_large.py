@@ -39,7 +39,7 @@ class NearLargeSolver:
         The ``d(s, r, e)`` tables from the preprocessing phase.
     """
 
-    __slots__ = ("_level0", "_trees", "_tables")
+    __slots__ = ("_level0", "_trees", "_tables", "_pairs")
 
     def __init__(
         self,
@@ -50,6 +50,13 @@ class NearLargeSolver:
         self._level0 = sorted(landmarks.level(0))
         self._trees = landmark_trees
         self._tables = landmark_tables
+        # The scan below runs once per (target, near edge) pair, so resolve
+        # the landmark -> tree mapping once instead of per candidate.
+        self._pairs = tuple(
+            (landmark, landmark_trees[landmark])
+            for landmark in self._level0
+            if landmark in landmark_trees
+        )
 
     def candidate(self, source: int, target: int, edge: Edge) -> float:
         """Best Algorithm 4 candidate for one near edge.
@@ -58,17 +65,24 @@ class NearLargeSolver:
         target is unreachable from every landmark or every canonical
         landmark-target path uses ``e``).
         """
-        best = math.inf
-        for landmark in self._level0:
-            tree = self._trees.get(landmark)
-            if tree is None:
+        if edge[0] > edge[1]:
+            edge = (edge[1], edge[0])
+        inf = math.inf
+        best = inf
+        table = self._tables.table_for(source)
+        source_dist = self._tables.tree_for(source).dist
+        for landmark, tree in self._pairs:
+            distance_to_target = tree.distance_avoiding(edge, target)
+            if distance_to_target is inf:
                 continue
-            distance_to_target = tree.distance(target)
-            if distance_to_target is math.inf:
-                continue
-            if tree.tree_path_uses_edge(edge, target):
-                continue
-            candidate = self._tables.query(source, landmark, edge) + distance_to_target
+            # Inlined SourceLandmarkTables.query: edges off the canonical
+            # source-landmark path fall back to the plain distance.
+            per_edge = table.get(landmark)
+            if per_edge is not None and edge in per_edge:
+                d_sle = per_edge[edge]
+            else:
+                d_sle = source_dist[landmark]
+            candidate = d_sle + distance_to_target
             if candidate < best:
                 best = candidate
         return best

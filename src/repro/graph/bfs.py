@@ -13,6 +13,13 @@ Two entry points are provided:
   optionally with a *preferred path* forced into the tree, which the
   single-pair replacement-path algorithm uses to make the reversed ``s-t``
   path a tree path of the tree rooted at ``t``.
+
+These are the *reference* implementations: they define the traversal
+semantics and stay deliberately simple.  The hot paths of the library run on
+the flat CSR kernel in :mod:`repro.graph.csr` (:func:`bfs_distances_csr`,
+:func:`bfs_tree_csr`, batched :func:`bfs_many`), which is verified to
+produce identical distances, parents and orders by the randomized property
+battery.
 """
 
 from __future__ import annotations

@@ -23,10 +23,27 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InternalInvariantError, InvalidParameterError
+from repro.graph import csr
 from repro.graph.graph import Graph
 
 RandomLike = Union[int, random.Random, None]
+
+
+def is_connected(graph: Graph) -> bool:
+    """Connectivity check over the graph's cached CSR kernel.
+
+    Empty and single-vertex graphs count as connected.  Generators whose
+    contract promises connectivity (:func:`random_connected_graph`) verify
+    their output with this check, and tests use it to sort workloads into
+    connected/disconnected regimes.
+    """
+    return csr.is_connected(graph)
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components as sorted vertex lists (CSR flat traversal)."""
+    return csr.connected_components(graph)
 
 
 def _rng(seed: RandomLike) -> random.Random:
@@ -193,7 +210,12 @@ def random_connected_graph(
         if u == v:
             continue
         edges.add((min(u, v), max(u, v)))
-    return Graph(num_vertices, sorted(edges))
+    graph = Graph(num_vertices, sorted(edges))
+    if not is_connected(graph):  # pragma: no cover - guaranteed by construction
+        raise InternalInvariantError(
+            "random_connected_graph produced a disconnected graph"
+        )
+    return graph
 
 
 def path_with_clusters(

@@ -51,7 +51,7 @@ class Graph:
     for a given graph.
     """
 
-    __slots__ = ("_n", "_adj", "_edges", "_edge_set")
+    __slots__ = ("_n", "_adj", "_edges", "_edge_set", "_csr")
 
     def __init__(self, num_vertices: int, edges: Iterable[Sequence[int]] = ()):
         if num_vertices < 0:
@@ -79,6 +79,7 @@ class Graph:
         self._adj: List[Tuple[int, ...]] = [tuple(sorted(s)) for s in adjacency]
         self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
         self._edge_set = edge_set
+        self._csr = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -117,6 +118,22 @@ class Graph:
         return 0 <= v < self._n
 
     # -- convenience -------------------------------------------------------
+
+    def csr(self):
+        """Return the cached :class:`~repro.graph.csr.CSRGraph` view.
+
+        The graph is immutable, so the flat compressed-sparse-row form is
+        compiled at most once per instance and shared by every traversal.
+        The BFS kernels in :mod:`repro.graph.csr` call this implicitly, so
+        callers can keep passing plain :class:`Graph` objects to them.
+        """
+        csr = self._csr
+        if csr is None:
+            from repro.graph.csr import CSRGraph
+
+            csr = CSRGraph.from_graph(self)
+            self._csr = csr
+        return csr
 
     def adjacency(self) -> List[Tuple[int, ...]]:
         """Return the adjacency structure as a list of neighbour tuples.
@@ -176,14 +193,42 @@ class Graph:
 
     @classmethod
     def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "Graph":
-        """Build a graph from an adjacency-list representation."""
-        edges = [
-            (u, v)
-            for u, nbrs in enumerate(adjacency)
-            for v in nbrs
-            if u < v or u not in adjacency[v]
-        ]
-        return cls(len(adjacency), edges)
+        """Build a graph from a symmetric adjacency-list representation.
+
+        The input must be a genuine undirected adjacency structure:
+        ``adjacency[u]`` contains ``v`` if and only if ``adjacency[v]``
+        contains ``u``.  One-sided entries (which an earlier version of this
+        constructor silently promoted to edges, at ``O(deg)`` membership
+        cost per check) now raise :class:`~repro.exceptions.GraphError`, as
+        do self loops and out-of-range neighbours, so a malformed input can
+        no longer round-trip into a graph that disagrees with it.
+        ``Graph.from_adjacency(g.adjacency())`` reconstructs ``g`` exactly.
+        """
+        n = len(adjacency)
+        neighbor_sets: List[set] = []
+        for u, nbrs in enumerate(adjacency):
+            row = set()
+            for v in nbrs:
+                v = int(v)
+                if not 0 <= v < n:
+                    raise GraphError(
+                        f"adjacency[{u}] lists {v}, outside 0..{n - 1}"
+                    )
+                if v == u:
+                    raise GraphError(f"self loop at vertex {u} is not allowed")
+                row.add(v)
+            neighbor_sets.append(row)
+        edges = []
+        for u, row in enumerate(neighbor_sets):
+            for v in row:
+                if u not in neighbor_sets[v]:
+                    raise GraphError(
+                        f"asymmetric adjacency: {v} in adjacency[{u}] "
+                        f"but {u} not in adjacency[{v}]"
+                    )
+                if u < v:
+                    edges.append((u, v))
+        return cls(n, edges)
 
     def to_networkx(self):  # pragma: no cover - thin conversion helper
         """Convert to a :mod:`networkx` graph (used by analysis notebooks)."""

@@ -77,7 +77,7 @@ class ShortestPathTree:
             if p is None:
                 continue
             children[p].append(v)
-            tree_edge_child[normalize_edge(p, v)] = v
+            tree_edge_child[(p, v) if p <= v else (v, p)] = v
         self._children = children
         self._tree_edge_child = tree_edge_child
         self._tin, self._tout = self._euler_intervals(n)
@@ -85,26 +85,50 @@ class ShortestPathTree:
     # -- construction helpers ----------------------------------------------
 
     def _euler_intervals(self, n: int) -> Tuple[List[int], List[int]]:
-        """Compute entry/exit times of an iterative DFS over the tree."""
-        tin = [-1] * n
-        tout = [-1] * n
-        timer = 0
-        # Iterative DFS to avoid recursion limits on path-like graphs.
-        stack: List[Tuple[int, int]] = [(self.root, 0)]
+        """Compute DFS entry/exit times without running a DFS.
+
+        A vertex's Euler interval is determined by arithmetic alone: a
+        subtree with ``k`` vertices occupies exactly ``2k`` timestamps (one
+        entry and one exit each), and the children of ``v`` own consecutive
+        blocks starting right after ``v``'s entry, in the order ``order``
+        visits them.  Two linear sweeps over ``order`` (which lists parents
+        before children — the only property this relies on) produce a valid
+        laminar interval family at a fraction of the DFS constant factor;
+        for plain BFS trees the timestamps coincide with a DFS over the
+        child lists, while ``prefer_path``-reparented trees may order
+        siblings differently (the intervals stay correct, the exact
+        timestamps are not part of the contract).  This runs once per BFS
+        tree, i.e. once per source, landmark and center, so it is on the
+        preprocessing hot path.
+        """
         if not (0 <= self.root < n):
             raise GraphError(f"root {self.root} outside vertex range 0..{n - 1}")
-        while stack:
-            vertex, child_index = stack.pop()
-            if child_index == 0:
-                tin[vertex] = timer
-                timer += 1
-            kids = self._children[vertex]
-            if child_index < len(kids):
-                stack.append((vertex, child_index + 1))
-                stack.append((kids[child_index], 0))
-            else:
-                tout[vertex] = timer
-                timer += 1
+        tin = [-1] * n
+        tout = [-1] * n
+        parent = self.parent
+        order = self.order
+        # Bottom-up subtree sizes (children appear after parents in order).
+        size = [1] * n
+        for v in reversed(order):
+            p = parent[v]
+            if p is not None:
+                size[p] += size[v]
+        # Top-down block assignment; cursor[v] is the next free timestamp
+        # inside v's interval.
+        cursor = [0] * n
+        root = self.root
+        tin[root] = 0
+        tout[root] = 2 * size[root] - 1
+        cursor[root] = 1
+        for v in order:
+            p = parent[v]
+            if p is None:
+                continue
+            t = cursor[p]
+            tin[v] = t
+            tout[v] = t + 2 * size[v] - 1
+            cursor[v] = t + 1
+            cursor[p] = t + 2 * size[v]
         return tin, tout
 
     # -- basic accessors ----------------------------------------------------
@@ -161,6 +185,24 @@ class ShortestPathTree:
         if child is None:
             return False
         return self.is_ancestor(child, target)
+
+    def distance_avoiding(self, edge: Edge, target: int) -> float:
+        """Root-``target`` distance when the canonical path avoids ``edge``.
+
+        Fused form of ``distance`` + ``tree_path_uses_edge`` for the hot
+        Algorithm-4 scans: returns ``dist[target]`` when the canonical
+        root->``target`` path avoids ``edge`` and ``math.inf`` when the path
+        uses it or ``target`` is unreachable.
+        """
+        d = self.dist[target]
+        if d is math.inf:
+            return d
+        if edge[0] > edge[1]:
+            edge = (edge[1], edge[0])
+        child = self._tree_edge_child.get(edge)
+        if child is not None and self._tin[child] <= self._tin[target] <= self._tout[child]:
+            return math.inf
+        return d
 
     def path_to(self, target: int) -> List[int]:
         """Return the canonical root->``target`` path as a vertex list.

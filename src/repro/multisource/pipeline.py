@@ -33,7 +33,7 @@ from repro.core.landmark_rp import PerSourceLandmarkTable, SourceLandmarkTables
 from repro.core.landmarks import LandmarkHierarchy
 from repro.core.near_small import NearSmallTables, compute_near_small_tables
 from repro.core.params import ProblemScale
-from repro.graph.bfs import bfs_tree
+from repro.graph.csr import bfs_many
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
 from repro.multisource.bottleneck import (
@@ -69,15 +69,18 @@ def compute_auxiliary_tables(
         else CenterHierarchy.sample(scale, sources, rng)
     )
 
-    # BFS trees from every center, reusing the trees we already have.
+    # BFS trees from every center, reusing the trees we already have; the
+    # remaining roots run as one batch over the graph's cached CSR kernel.
     center_trees: Dict[int, ShortestPathTree] = {}
+    missing: List[int] = []
     for center in sorted(centers.all):
         if center in source_trees:
             center_trees[center] = source_trees[center]
         elif center in landmark_trees:
             center_trees[center] = landmark_trees[center]
         else:
-            center_trees[center] = bfs_tree(graph, center)
+            missing.append(center)
+    center_trees.update(bfs_many(graph, missing))
 
     # Section 7.1 tables with walk reconstruction (feeds 8.1 and 8.2.1).
     near_small: Dict[int, NearSmallTables] = {

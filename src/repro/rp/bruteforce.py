@@ -22,7 +22,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.exceptions import InvalidParameterError
-from repro.graph.bfs import bfs_distances, bfs_tree
+from repro.graph.csr import bfs_distances_csr, bfs_tree_csr
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
 
@@ -39,12 +39,13 @@ def brute_force_single_pair(
     source_tree: Optional[ShortestPathTree] = None,
 ) -> Dict[Edge, float]:
     """Replacement lengths for every edge of the canonical ``s``-``t`` path."""
-    tree = source_tree if source_tree is not None else bfs_tree(graph, source)
+    tree = source_tree if source_tree is not None else bfs_tree_csr(graph, source)
     if not tree.is_reachable(target) or source == target:
         return {}
+    csr = graph.csr()
     answer: Dict[Edge, float] = {}
     for edge in tree.path_edges_to(target):
-        dist = bfs_distances(graph, source, forbidden_edge=edge)
+        dist = bfs_distances_csr(csr, source, forbidden_edge=edge)
         answer[edge] = dist[target]
     return answer
 
@@ -65,7 +66,10 @@ def brute_force_single_source(
     """
     if not graph.has_vertex(source):
         raise InvalidParameterError(f"source {source} outside vertex range")
-    tree = source_tree if source_tree is not None else bfs_tree(graph, source)
+    tree = source_tree if source_tree is not None else bfs_tree_csr(graph, source)
+    # One BFS per tree edge: compile the CSR view once and reuse it for the
+    # whole sweep (this loop dominates the oracle's running time).
+    csr = graph.csr()
     answer: SingleSourceAnswer = {
         t: {} for t in tree.reachable_vertices() if t != source
     }
@@ -74,7 +78,7 @@ def brute_force_single_source(
         if parent is None:
             continue
         edge = normalize_edge(parent, child)
-        dist = bfs_distances(graph, source, forbidden_edge=edge)
+        dist = bfs_distances_csr(csr, source, forbidden_edge=edge)
         for t in tree.reachable_vertices():
             if t != source and tree.is_ancestor(child, t):
                 answer[t][edge] = dist[t]
@@ -103,7 +107,7 @@ def replacement_distance(
     banned = normalize_edge(int(edge[0]), int(edge[1]))
     if not graph.has_edge(*banned):
         raise InvalidParameterError(f"edge {banned} is not in the graph")
-    dist = bfs_distances(graph, source, forbidden_edge=banned)
+    dist = bfs_distances_csr(graph, source, forbidden_edge=banned)
     return dist[target]
 
 

@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import InvalidParameterError, NotOnPathError
-from repro.graph.bfs import bfs_tree
+from repro.graph.csr import bfs_tree_csr
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
 
@@ -128,7 +128,7 @@ def replacement_paths(
         raise InvalidParameterError(
             f"source/target ({source}, {target}) outside vertex range"
         )
-    tree_s = source_tree if source_tree is not None else bfs_tree(graph, source)
+    tree_s = source_tree if source_tree is not None else bfs_tree_csr(graph, source)
     if tree_s.root != source:
         raise InvalidParameterError("source_tree is rooted at a different vertex")
     if not tree_s.is_reachable(target):
@@ -148,7 +148,7 @@ def _cut_formula_sweep(
     source, target = path[0], path[-1]
     num_failed = len(path) - 1
 
-    tree_t = bfs_tree(graph, target, prefer_path=list(reversed(path)))
+    tree_t = bfs_tree_csr(graph, target, prefer_path=list(reversed(path)))
 
     # a_s[x]: index (in `path`) of the deepest P-ancestor of x in T_s.
     a_s = tree_s.deepest_path_ancestor_indices(path)
@@ -167,22 +167,31 @@ def _cut_formula_sweep(
     candidates: List[Tuple[int, int, float]] = []
     dist_s = tree_s.dist
     dist_t = tree_t.dist
-    for u, v in graph.edges():
-        if normalize_edge(u, v) in path_edge_set:
+    inf = math.inf
+    last = num_failed - 1
+    push = candidates.append
+    # graph.edges() yields normalised (u < v) tuples, so the path-edge
+    # membership test needs no re-normalisation.
+    for edge in graph.edges():
+        if edge in path_edge_set:
             continue
+        u, v = edge
         for x, y in ((u, v), (v, u)):
-            if dist_s[x] is math.inf or dist_t[y] is math.inf:
+            if dist_s[x] is inf or dist_t[y] is inf:
                 continue
             lo = a_s[x]
             hi = b_t[y] - 1
             if lo < 0 or hi < lo:
                 continue
-            hi = min(hi, num_failed - 1)
-            if lo > hi:
-                continue
-            candidates.append((lo, hi, dist_s[x] + 1 + dist_t[y]))
+            if hi > last:
+                hi = last
+                if lo > hi:
+                    continue
+            push((lo, hi, dist_s[x] + 1 + dist_t[y]))
 
-    candidates.sort(key=lambda item: item[0])
+    # Plain tuple order sorts by interval start first, which is all the
+    # sweep needs; no key function per element.
+    candidates.sort()
     answers: Dict[Edge, float] = {}
     heap: List[Tuple[float, int]] = []  # (value, interval_end)
     idx = 0

@@ -1,0 +1,156 @@
+"""Regression tests for boundary inputs across the whole stack.
+
+Collected here per the CSR-kernel issue: disconnected graphs, empty and
+single-vertex graphs, the ``sigma = 1`` regime, star and bridge-heavy
+instances, and the tightened ``Graph.from_adjacency`` contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.msrp import multiple_source_replacement_paths
+from repro.core.params import AlgorithmParams
+from repro.core.ssrp import single_source_replacement_paths
+from repro.exceptions import GraphError, InvalidParameterError
+from repro.graph import generators
+from repro.graph.csr import bfs_distances_csr, bfs_many, bfs_tree_csr
+from repro.graph.graph import Graph
+from repro.rp.bruteforce import brute_force_multi_source, brute_force_single_source
+
+
+class TestDisconnectedGraphs:
+    def test_msrp_reports_only_reachable_targets(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])  # vertex 5 isolated
+        result = multiple_source_replacement_paths(
+            g, [0, 3], params=AlgorithmParams(seed=1)
+        )
+        assert result.targets(0) == [1, 2]
+        assert result.targets(3) == [4]
+        assert result.matches(brute_force_multi_source(g, [0, 3]))
+
+    def test_csr_bfs_marks_other_components_unreachable(self):
+        g = Graph(5, [(0, 1), (3, 4)])
+        dist = bfs_distances_csr(g, 0)
+        assert dist == [0, 1, math.inf, math.inf, math.inf]
+        tree = bfs_tree_csr(g, 3)
+        assert tree.reachable_vertices() == [3, 4]
+        assert not tree.is_reachable(0)
+
+    def test_replacement_across_components_never_appears(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        answer = brute_force_single_source(g, 0)
+        assert sorted(answer) == [1]
+        assert answer[1] == {(0, 1): math.inf}
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0 and g.num_edges == 0
+        assert bfs_many(g, []) == {}
+        with pytest.raises(InvalidParameterError):
+            bfs_distances_csr(g, 0)
+        with pytest.raises(InvalidParameterError):
+            multiple_source_replacement_paths(g, [0])
+
+    def test_single_vertex_graph(self):
+        g = Graph(1)
+        assert bfs_distances_csr(g, 0) == [0]
+        tree = bfs_tree_csr(g, 0)
+        assert tree.order == [0] and tree.parent == [None]
+        result = single_source_replacement_paths(g, 0, params=AlgorithmParams(seed=2))
+        assert result.targets(0) == []
+        assert result.matches({0: {}})
+
+    def test_two_isolated_vertices(self):
+        g = Graph(2)
+        result = multiple_source_replacement_paths(
+            g, [0, 1], params=AlgorithmParams(seed=3)
+        )
+        assert result.targets(0) == []
+        assert result.targets(1) == []
+
+
+class TestSigmaOne:
+    def test_ssrp_equals_bruteforce(self):
+        g = generators.random_connected_graph(20, extra_edges=18, seed=4)
+        result = single_source_replacement_paths(g, 5, params=AlgorithmParams(seed=4))
+        assert result.matches({5: brute_force_single_source(g, 5)})
+
+    def test_msrp_with_one_source_equals_ssrp(self):
+        g = generators.grid_graph(3, 5)
+        params = AlgorithmParams(seed=5)
+        msrp = multiple_source_replacement_paths(g, [0], params=params)
+        ssrp = single_source_replacement_paths(g, 0, params=params)
+        assert msrp.table(0) == ssrp.table(0)
+
+
+class TestStarAndBridgeHeavyGraphs:
+    def test_star_graph_every_edge_is_irreplaceable(self):
+        g = generators.star_graph(6)
+        result = single_source_replacement_paths(g, 0, params=AlgorithmParams(seed=6))
+        for leaf in range(1, 7):
+            assert result.replacement_length(0, leaf, (0, leaf)) == math.inf
+        assert result.matches({0: brute_force_single_source(g, 0)})
+
+    def test_star_from_leaf_source(self):
+        g = generators.star_graph(5)
+        result = single_source_replacement_paths(g, 3, params=AlgorithmParams(seed=7))
+        assert result.matches({3: brute_force_single_source(g, 3)})
+
+    def test_path_graph_all_bridges(self):
+        g = generators.path_graph(8)
+        answer = brute_force_single_source(g, 0)
+        for target, per_edge in answer.items():
+            assert set(per_edge.values()) == {math.inf}
+        result = single_source_replacement_paths(g, 0, params=AlgorithmParams(seed=8))
+        assert result.matches({0: answer})
+
+    def test_barbell_bridge_separates_the_cliques(self):
+        g = generators.barbell_graph(3, 4)
+        result = multiple_source_replacement_paths(
+            g, [0, 1], params=AlgorithmParams(seed=9)
+        )
+        assert result.matches(brute_force_multi_source(g, [0, 1]))
+        # Replacements inside a clique are finite, across the bridge infinite.
+        bridge_values = [
+            value
+            for _, _, _, value in result.iter_entries()
+            if value == math.inf
+        ]
+        assert bridge_values, "the barbell bridge must be irreplaceable"
+
+
+class TestFromAdjacencyContract:
+    def test_round_trips_adjacency(self):
+        for g in (
+            generators.gnp_random_graph(15, 0.25, seed=10),
+            generators.star_graph(4),
+            generators.barbell_graph(3, 2),
+            Graph(3),
+            Graph(0),
+        ):
+            assert Graph.from_adjacency(g.adjacency()) == g
+
+    def test_symmetric_input_accepted(self):
+        g = Graph.from_adjacency([[1, 2], [0], [0]])
+        assert g.edges() == ((0, 1), (0, 2))
+
+    def test_asymmetric_input_rejected(self):
+        with pytest.raises(GraphError, match="asymmetric"):
+            Graph.from_adjacency([[1], [], []])
+        with pytest.raises(GraphError, match="asymmetric"):
+            Graph.from_adjacency([[], [0], []])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self loop"):
+            Graph.from_adjacency([[0]])
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(GraphError, match="outside"):
+            Graph.from_adjacency([[3], []])
+        with pytest.raises(GraphError, match="outside"):
+            Graph.from_adjacency([[-1], []])

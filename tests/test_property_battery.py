@@ -1,0 +1,182 @@
+"""Randomized invariant battery over every generator and both strategies.
+
+Each case builds a seeded random (or structured) graph from one of the
+generators in :mod:`repro.graph.generators` and checks the library's core
+contracts against each other:
+
+* **MSRP == brute force** — the efficient pipeline (both landmark
+  strategies) agrees entry-for-entry with the per-edge BFS oracle.
+* **SSRP == MSRP restricted to one source** — running the multi-source
+  pipeline and projecting onto one source gives the same values as the
+  single-source entry point.
+* **Metric sanity** — every replacement length is at least the original
+  distance, and is infinite exactly when the failed edge is a bridge whose
+  removal separates the pair.
+* **CSR BFS == dict BFS** — the flat kernel and the reference
+  implementation produce identical distances, parents and orders on the
+  same battery, with and without forbidden edges.
+
+The default battery is sized to stay fast; the ``slow`` marked variants
+rerun the same invariants over many more seeds (deselect in CI with
+``-m "not slow"``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.msrp import multiple_source_replacement_paths
+from repro.core.params import AlgorithmParams
+from repro.core.ssrp import single_source_replacement_paths
+from repro.graph import generators
+from repro.graph.bfs import bfs_distances, bfs_tree
+from repro.graph.csr import bfs_distances_csr, bfs_tree_csr
+from repro.rp.bruteforce import brute_force_multi_source, brute_force_single_source
+
+#: name -> seeded factory covering every generator in the module.
+GENERATORS = {
+    "gnp": lambda seed: generators.gnp_random_graph(13, 0.3, seed=seed),
+    "gnm": lambda seed: generators.gnm_random_graph(12, 18, seed=seed),
+    "regular": lambda seed: generators.random_regular_graph(12, 3, seed=seed),
+    "connected": lambda seed: generators.random_connected_graph(
+        13, extra_edges=10, seed=seed
+    ),
+    "grid": lambda seed: generators.grid_graph(3, 4),
+    "path": lambda seed: generators.path_graph(9),
+    "cycle": lambda seed: generators.cycle_graph(8),
+    "star": lambda seed: generators.star_graph(7),
+    "complete": lambda seed: generators.complete_graph(6),
+    "barbell": lambda seed: generators.barbell_graph(3, 3),
+    "clusters": lambda seed: generators.path_with_clusters(7, 3, 2, seed=seed),
+}
+
+STRATEGIES = ("direct", "auxiliary")
+
+
+def pick_sources(graph, seed, count=2):
+    rng = random.Random(seed)
+    count = min(count, max(1, graph.num_vertices))
+    return sorted(rng.sample(range(graph.num_vertices), count))
+
+
+def run_msrp(graph, sources, strategy, seed):
+    params = AlgorithmParams(seed=seed)
+    return multiple_source_replacement_paths(
+        graph, sources, params=params, landmark_strategy=strategy
+    )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_msrp_matches_bruteforce(name, strategy):
+    for seed in (1, 2):
+        graph = GENERATORS[name](seed)
+        sources = pick_sources(graph, seed)
+        result = run_msrp(graph, sources, strategy, seed)
+        reference = brute_force_multi_source(graph, sources)
+        mismatches = result.differences_from(reference)
+        assert not mismatches, (
+            f"{name}/{strategy}/seed={seed}: {len(mismatches)} mismatches, "
+            f"first: {mismatches[:3]}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_ssrp_equals_msrp_restricted_to_one_source(name):
+    seed = 5
+    graph = GENERATORS[name](seed)
+    sources = pick_sources(graph, seed)
+    msrp = run_msrp(graph, sources, "direct", seed)
+    for s in sources:
+        ssrp = single_source_replacement_paths(
+            graph, s, params=AlgorithmParams(seed=seed)
+        )
+        # Same canonical trees (BFS is deterministic), so the per-source
+        # tables must agree key-for-key and value-for-value.
+        assert ssrp.table(s) == msrp.table(s)
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_metric_sanity(name):
+    seed = 7
+    graph = GENERATORS[name](seed)
+    sources = pick_sources(graph, seed)
+    result = run_msrp(graph, sources, "direct", seed)
+    for s, t, edge, value in result.iter_entries():
+        original = result.distance(s, t)
+        assert value >= original, (
+            f"{name}: replacement |{s}{t} <> {edge}| = {value} shorter than "
+            f"the original distance {original}"
+        )
+        truth = bfs_distances_csr(graph, s, forbidden_edge=edge)[t]
+        assert (value == math.inf) == (truth == math.inf)
+        if value == math.inf:
+            # Only a bridge whose removal separates the pair may be
+            # irreplaceable: its endpoints must fall apart without it.
+            u, v = edge
+            assert bfs_distances_csr(graph, u, forbidden_edge=edge)[v] == math.inf
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_csr_bfs_equals_dict_bfs(name):
+    for seed in (3, 4):
+        graph = GENERATORS[name](seed)
+        n = graph.num_vertices
+        rng = random.Random(seed)
+        roots = {0, n - 1, rng.randrange(n)}
+        for root in roots:
+            assert bfs_distances_csr(graph, root) == bfs_distances(graph, root)
+            dict_tree = bfs_tree(graph, root)
+            csr_tree = bfs_tree_csr(graph, root)
+            assert csr_tree.parent == dict_tree.parent
+            assert csr_tree.dist == dict_tree.dist
+            assert csr_tree.order == dict_tree.order
+        edges = graph.edges()
+        for edge in rng.sample(edges, min(4, len(edges))):
+            assert bfs_distances_csr(graph, 0, forbidden_edge=edge) == bfs_distances(
+                graph, 0, forbidden_edge=edge
+            )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_msrp_matches_bruteforce_extended(strategy):
+    """Wider sweep of the same invariant: more seeds per generator."""
+    for name, factory in sorted(GENERATORS.items()):
+        for seed in range(10, 16):
+            graph = factory(seed)
+            sources = pick_sources(graph, seed, count=3)
+            result = run_msrp(graph, sources, strategy, seed)
+            reference = brute_force_multi_source(graph, sources)
+            assert result.matches(reference), f"{name}/{strategy}/seed={seed}"
+
+
+@pytest.mark.slow
+def test_csr_bfs_equals_dict_bfs_extended():
+    """Exhaustive CSR/dict equivalence: every root, every forbidden edge."""
+    for name, factory in sorted(GENERATORS.items()):
+        graph = factory(21)
+        for root in range(graph.num_vertices):
+            assert bfs_distances_csr(graph, root) == bfs_distances(graph, root)
+        for edge in graph.edges():
+            dict_tree = bfs_tree(graph, 0, forbidden_edge=edge)
+            csr_tree = bfs_tree_csr(graph, 0, forbidden_edge=edge)
+            assert csr_tree.parent == dict_tree.parent
+            assert csr_tree.dist == dict_tree.dist
+            assert csr_tree.order == dict_tree.order
+
+
+@pytest.mark.slow
+def test_ssrp_matches_bruteforce_on_random_instances():
+    """SSRP spot check on larger connected instances (sigma = 1 regime)."""
+    for seed in range(30, 34):
+        graph = generators.random_connected_graph(28, extra_edges=30, seed=seed)
+        source = seed % graph.num_vertices
+        result = single_source_replacement_paths(
+            graph, source, params=AlgorithmParams(seed=seed)
+        )
+        reference = {source: brute_force_single_source(graph, source)}
+        assert result.matches(reference)
