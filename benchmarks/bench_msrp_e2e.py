@@ -1,0 +1,200 @@
+"""End-to-end MSRP benchmark with a machine-readable JSON trajectory.
+
+This is the perf harness future PRs diff against: it runs the full
+:class:`~repro.core.msrp.MSRPSolver` pipeline on the same sparse workloads
+as ``bench_fig_scaling_n`` (``random_connected_graph`` with ``m ~ 3 n``,
+fixed seeds) and records, per configuration, the end-to-end wall time, the
+solver's per-phase ``phase_seconds`` and an output fingerprint (entry count
+plus a value checksum) so that a speedup can never silently come from
+computing something different.
+
+Unlike the ``bench_fig_*`` modules this file is a plain script, not a
+pytest-benchmark suite, so CI can run it as a smoke job and commit-time
+tooling can produce comparable JSON without pulling in the benchmark
+plugin::
+
+    PYTHONPATH=src python benchmarks/bench_msrp_e2e.py --json BENCH_msrp.json
+    PYTHONPATH=src python benchmarks/bench_msrp_e2e.py --fast --json /tmp/smoke.json
+
+Passing ``--baseline OLD.json`` embeds the old runs and per-configuration
+speedups (``old wall / new wall``) in the output, which is how the
+committed ``BENCH_msrp.json`` documents a PR's end-to-end effect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import random
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.msrp import MSRPSolver
+from repro.core.params import AlgorithmParams
+from repro.graph.generators import random_connected_graph
+
+#: Default configuration mirrors ``bench_fig_scaling_n``'s size ladder.
+DEFAULT_SIZES = [60, 100, 160, 240]
+#: ``--fast`` keeps the harness honest in CI without burning minutes.
+FAST_SIZES = [48, 72]
+DEFAULT_SIGMA = 3
+DEFAULT_STRATEGY = "auxiliary"
+
+
+def sparse_workload(num_vertices: int, seed: int):
+    """Connected sparse graph with ``m ~ 3 n`` (same as the figure benches)."""
+    return random_connected_graph(num_vertices, extra_edges=2 * num_vertices, seed=seed)
+
+
+def run_key(n: int, sigma: int, strategy: str) -> str:
+    return f"n={n},sigma={sigma},strategy={strategy}"
+
+
+def fingerprint(result) -> Dict[str, float]:
+    """Cheap output invariant: entry count + checksum of the finite values."""
+    entries = 0
+    finite_sum = 0.0
+    infinite = 0
+    for _s, _t, _e, value in result.iter_entries():
+        entries += 1
+        if value is math.inf:
+            infinite += 1
+        else:
+            finite_sum += value
+    return {"entries": entries, "finite_sum": finite_sum, "infinite": infinite}
+
+
+def run_one(n: int, sigma: int, strategy: str, repeat: int) -> Dict:
+    """Run one configuration ``repeat`` times and keep the best wall time."""
+    graph = sparse_workload(n, seed=n)
+    rng = random.Random(n)
+    sources = sorted(rng.sample(range(n), min(sigma, n)))
+    best: Optional[Dict] = None
+    for _ in range(repeat):
+        solver = MSRPSolver(
+            graph,
+            sources,
+            params=AlgorithmParams(seed=n),
+            landmark_strategy=strategy,
+        )
+        start = time.perf_counter()
+        result = solver.solve()
+        wall = time.perf_counter() - start
+        if best is None or wall < best["wall_seconds"]:
+            best = {
+                "key": run_key(n, sigma, strategy),
+                "n": n,
+                "sigma": sigma,
+                "strategy": strategy,
+                "sources": sources,
+                "num_edges": graph.num_edges,
+                "wall_seconds": wall,
+                "phase_seconds": dict(solver.phase_seconds),
+                "fingerprint": fingerprint(result),
+            }
+    assert best is not None
+    return best
+
+
+def run_suite(
+    sizes: List[int], sigma: int, strategy: str, repeat: int, verbose: bool = True
+) -> List[Dict]:
+    runs = []
+    for n in sizes:
+        run = run_one(n, sigma, strategy, repeat)
+        runs.append(run)
+        if verbose:
+            phases = ", ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in sorted(
+                    run["phase_seconds"].items(), key=lambda kv: -kv[1]
+                )
+            )
+            print(f"{run['key']}: {run['wall_seconds']:.3f}s  ({phases})")
+    return runs
+
+
+def attach_baseline(payload: Dict, baseline_path: str) -> None:
+    """Embed baseline runs and per-key speedups into ``payload``."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    baseline_runs = {run["key"]: run for run in baseline.get("runs", [])}
+    speedups: Dict[str, float] = {}
+    for run in payload["runs"]:
+        old = baseline_runs.get(run["key"])
+        if old is not None and run["wall_seconds"] > 0:
+            speedups[run["key"]] = old["wall_seconds"] / run["wall_seconds"]
+    payload["baseline"] = {
+        "source": baseline_path,
+        "recorded_at": baseline.get("recorded_at"),
+        "runs": list(baseline_runs.values()),
+    }
+    payload["speedup_vs_baseline"] = speedups
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", help="write the JSON report here")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="small sizes only (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=lambda text: [int(part) for part in text.split(",") if part],
+        default=None,
+        help="comma-separated vertex counts (default: 60,100,160,240)",
+    )
+    parser.add_argument("--sigma", type=int, default=DEFAULT_SIGMA)
+    parser.add_argument(
+        "--strategy",
+        choices=("direct", "auxiliary"),
+        default=DEFAULT_STRATEGY,
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="repetitions per size (best kept)"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="previous JSON report to embed and compute speedups against",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes if args.sizes is not None else (
+        FAST_SIZES if args.fast else DEFAULT_SIZES
+    )
+    runs = run_suite(sizes, args.sigma, args.strategy, max(1, args.repeat))
+
+    payload: Dict = {
+        "harness": "bench_msrp_e2e",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "config": {
+            "sizes": sizes,
+            "sigma": args.sigma,
+            "strategy": args.strategy,
+            "repeat": max(1, args.repeat),
+            "fast": bool(args.fast),
+        },
+        "runs": runs,
+    }
+    if args.baseline:
+        attach_baseline(payload, args.baseline)
+        for key, speedup in sorted(payload["speedup_vs_baseline"].items()):
+            print(f"speedup {key}: {speedup:.2f}x")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,15 +67,25 @@ class FarEdgeSolver:
         radius; by Lemma 9 this happens with probability at most ``1/n``
         for edges whose replacement path exists.
         """
-        level = classified_edge.far_level
+        return self.candidate_edge(
+            source, target, classified_edge.edge, classified_edge.far_level
+        )
+
+    def candidate_edge(
+        self, source: int, target: int, edge, level: int
+    ) -> float:
+        """Algorithm 3 for a bare ``(edge, far level)`` pair.
+
+        Entry point of the assembly sweep, which classifies path edges with
+        array lookups and has no :class:`ClassifiedEdge` object to hand.
+        """
         radius = self._scale.landmark_radius(level)
-        edge = classified_edge.edge
         best = math.inf
         for landmark in self._landmarks.level(level):
             tree = self._trees.get(landmark)
             if tree is None:
                 continue
-            distance_to_target = tree.distance(target)
+            distance_to_target = tree.dist[target]
             if distance_to_target > radius:
                 continue
             candidate = self._tables.query(source, landmark, edge) + distance_to_target

@@ -29,7 +29,6 @@ import random
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.core.classification import classify_path_edges
 from repro.core.far_edges import FarEdgeSolver
 from repro.core.landmark_rp import SourceLandmarkTables, compute_direct_tables
 from repro.core.landmarks import LandmarkHierarchy
@@ -185,24 +184,58 @@ class MSRPSolver:
         far_solver: FarEdgeSolver,
         large_solver: NearLargeSolver,
     ) -> PerSourceTable:
+        """Assemble the replacement table of one source in a single sweep.
+
+        Rather than re-walking ``path_to(target)`` and re-classifying its
+        edges per target (``O(depth)`` parent hops, a ``ClassifiedEdge``
+        allocation and an edge normalisation per (target, edge)), this
+        visits the targets in tree preorder while maintaining the stack of
+        normalised path edges: moving from one target to the next truncates
+        the stack to the new parent's depth and pushes one edge, so every
+        tree edge is normalised exactly once and per-(target, edge)
+        classification is two array reads (the stack entry and the
+        precomputed far-level-by-distance table).
+        """
         tree = self.source_trees[source]
         small_tables = self.near_small_tables[source]
+        scale = self.scale
+        order = tree.order
+        dist = tree.dist
+        parent = tree.parent
+
+        # far_level_of[d] for every possible distance-to-target along a
+        # path; -1 marks the near range (classify_path_edges semantics).
+        max_depth = int(dist[order[-1]]) if order else 0
+        near_threshold = scale.near_threshold
+        far_level_of = [
+            -1 if d < near_threshold else scale.far_level(d)
+            for d in range(max_depth + 1)
+        ]
+
+        small_value = small_tables.value_normalized
+        large_candidate = large_solver.candidate
+        far_candidate = far_solver.candidate_edge
+
+        preorder = tree.preorder()
+        edge_stack: List = []
         per_source: PerSourceTable = {}
-        for target in tree.reachable_vertices():
-            if target == source:
-                continue
-            path = tree.path_to(target)
-            classified = classify_path_edges(path, self.scale)
+        for target in preorder[1:]:
+            p = parent[target]
+            del edge_stack[int(dist[p]):]
+            edge_stack.append((p, target) if p <= target else (target, p))
+            length = len(edge_stack)
             per_target: Dict = {}
-            for item in classified:
-                if item.is_near:
-                    value = min(
-                        small_tables.value(target, item.edge),
-                        large_solver.candidate(source, target, item.edge),
-                    )
+            for i in range(length):
+                edge = edge_stack[i]
+                level = far_level_of[length - i - 1]
+                if level < 0:
+                    value = small_value(target, edge)
+                    alternative = large_candidate(source, target, edge)
+                    if alternative < value:
+                        value = alternative
                 else:
-                    value = far_solver.candidate(source, target, item)
-                per_target[item.edge] = value
+                    value = far_candidate(source, target, edge, level)
+                per_target[edge] = value
             per_source[target] = per_target
         return per_source
 

@@ -39,7 +39,7 @@ from repro.core.params import ProblemScale
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
-from repro.rp.dijkstra import AuxiliaryGraphBuilder, dijkstra, reconstruct_path
+from repro.rp.dijkstra import InternedAuxiliaryGraph, reconstruct_path
 
 #: auxiliary-graph node tags
 _SRC = ("src",)
@@ -107,6 +107,14 @@ class NearSmallTables:
         e = normalize_edge(int(edge[0]), int(edge[1]))
         return self._values.get((target, e), math.inf)
 
+    def value_normalized(self, target: int, edge: Edge) -> float:
+        """:meth:`value` for callers that already hold a normalised edge.
+
+        The assembly sweep calls this once per (target, near edge) pair, so
+        it skips the re-normalisation and goes straight to the table.
+        """
+        return self._values.get((target, edge), math.inf)
+
     def known_pairs(self) -> List[Tuple[int, Edge]]:
         """All ``(target, edge)`` pairs with a finite value."""
         return [key for key, val in self._values.items() if val is not math.inf]
@@ -163,46 +171,58 @@ def compute_near_small_tables(
     if tree.root != source:
         raise InvalidParameterError("tree must be rooted at the source")
 
-    builder = AuxiliaryGraphBuilder()
-    builder.add_node(_SRC)
+    aux = InternedAuxiliaryGraph()
+    src_id = aux.intern(_SRC)
 
-    # Near edges per target, and the set of existing [v, e] nodes.
+    # Near edges per target, and dense ids for the existing [t, e] nodes.
     near_edges: Dict[int, List[Edge]] = {}
-    ve_nodes = set()
-    for target in tree.reachable_vertices():
+    ve_ids: Dict[Tuple[int, Edge], int] = {}
+    for target in tree.order:
         if target == source:
             continue
         edges = [e for e, _ in near_edges_from_target(tree, target, scale)]
         if edges:
             near_edges[target] = edges
             for e in edges:
-                ve_nodes.add((target, e))
-                builder.add_node(_ve_node(target, e))
+                ve_ids[(target, e)] = aux.intern(_ve_node(target, e))
 
     # [s] -> [v] edges.
-    for v in tree.reachable_vertices():
-        builder.add_edge(_SRC, _v_node(v), float(tree.dist[v]))
+    add_arc = aux.add_arc
+    dist = tree.dist
+    v_ids: Dict[int, int] = {}
+    for v in tree.order:
+        v_ids[v] = v_id = aux.intern(_v_node(v))
+        add_arc(src_id, v_id, float(dist[v]))
 
-    # [v] -> [t, e] and [v, e] -> [t, e] edges.
+    # [v] -> [t, e] and [v, e] -> [t, e] edges.  The "canonical s-v path
+    # avoids e" guard is the tree's Euler-interval test, inlined over the
+    # flat arrays (one dict get + two comparisons per pair).
+    tec = tree.edge_child_map()
+    tec_get = tec.get
+    tin, tout = tree.euler_intervals()
+    ve_get = ve_ids.get
     for target, edges in near_edges.items():
         for neighbour in graph.neighbors(target):
             hop = normalize_edge(neighbour, target)
-            neighbour_reachable = tree.is_reachable(neighbour)
+            neighbour_v_id = v_ids.get(neighbour)
+            t_n = tin[neighbour]
             for e in edges:
                 if hop == e:
                     continue
-                if neighbour_reachable and not tree.tree_path_uses_edge(e, neighbour):
-                    builder.add_edge(_v_node(neighbour), _ve_node(target, e), 1.0)
-                if (neighbour, e) in ve_nodes:
-                    builder.add_edge(_ve_node(neighbour, e), _ve_node(target, e), 1.0)
+                if neighbour_v_id is not None:
+                    child = tec_get(e)
+                    if child is None or not (tin[child] <= t_n <= tout[child]):
+                        add_arc(neighbour_v_id, ve_ids[(target, e)], 1.0)
+                ne_id = ve_get((neighbour, e))
+                if ne_id is not None:
+                    add_arc(ne_id, ve_ids[(target, e)], 1.0)
 
-    distances, predecessors = dijkstra(
-        builder.adjacency(), _SRC, with_predecessors=with_paths
-    )
+    distances, predecessors = aux.dijkstra(_SRC, with_predecessors=with_paths)
 
     values: Dict[Tuple[int, Edge], float] = {}
-    for target, e in ve_nodes:
-        values[(target, e)] = distances.get(_ve_node(target, e), math.inf)
+    by_id = distances.by_id
+    for key, node_id in ve_ids.items():
+        values[key] = by_id(node_id, math.inf)
 
     return NearSmallTables(
         source,

@@ -35,25 +35,42 @@ class LCAStructure:
     def __init__(self, tree: ShortestPathTree):
         self.tree = tree
         n = tree.num_vertices
-        tour_vertices: List[int] = []
-        tour_depths: List[int] = []
+        root = tree.root
+        parent = tree.parent
+        dist = tree.dist
+        tour_vertices: List[int] = [root]
+        tour_depths: List[int] = [0]
         first: List[Optional[int]] = [None] * n
+        first[root] = 0
 
-        # Iterative Euler tour recording every vertex each time it is entered
-        # or returned to.
-        stack: List[tuple] = [(tree.root, 0)]
-        if not tree.is_reachable(tree.root):
-            raise NotOnPathError("tree root is not reachable from itself")
-        while stack:
-            vertex, child_index = stack.pop()
-            if first[vertex] is None:
-                first[vertex] = len(tour_vertices)
-            tour_vertices.append(vertex)
-            tour_depths.append(int(tree.dist[vertex]))
-            kids = tree.children(vertex)
-            if child_index < len(kids):
-                stack.append((vertex, child_index + 1))
-                stack.append((kids[child_index], 0))
+        # Euler tour (every vertex each time it is entered or returned to)
+        # derived from the tree's arithmetic Euler intervals instead of an
+        # explicit stack DFS: sorting the reachable vertices by ``tin`` gives
+        # a DFS preorder, and between consecutive preorder vertices the tour
+        # climbs from the previous vertex up to the next one's parent —
+        # which is always an ancestor of the previous vertex — recording
+        # every ancestor it returns to.  Each tree edge is walked exactly
+        # twice, so the whole construction is O(n) beyond the sort.
+        preorder = tree.preorder()
+        append_vertex = tour_vertices.append
+        append_depth = tour_depths.append
+        prev = root
+        for vertex in preorder[1:]:
+            p = parent[vertex]
+            u = prev
+            while u != p:
+                u = parent[u]
+                append_vertex(u)
+                append_depth(int(dist[u]))
+            first[vertex] = len(tour_vertices)
+            append_vertex(vertex)
+            append_depth(int(dist[vertex]))
+            prev = vertex
+        u = prev
+        while u != root:
+            u = parent[u]
+            append_vertex(u)
+            append_depth(int(dist[u]))
 
         self._first = first
         self._vertex_tour = tour_vertices

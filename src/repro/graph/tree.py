@@ -15,6 +15,28 @@ so the following predicates are answered in ``O(1)``:
 Both reduce to subtree-membership tests on Euler-tour intervals, the same
 technique the paper's Lemma 6 (LCA structure of Bender & Farach-Colton)
 relies on.
+
+Laziness contract
+-----------------
+Construction stores only the three flat arrays BFS already produced —
+``parent``, ``dist`` and ``order`` — and *adopts* them when they are plain
+lists (no copy).  Everything else — the per-vertex children rows, the
+tree-edge ``->`` child map and the Euler ``tin``/``tout`` intervals — is
+materialised on first use and cached for the lifetime of the tree:
+
+* a tree that only ever answers ``distance`` / ``path_to`` /
+  ``deepest_path_ancestor_indices`` queries (oracle distance tables, many
+  center trees) never builds any derived structure;
+* the first structural query (``is_ancestor``, ``edge_child``,
+  ``distance_avoiding``, ``subtree_size``, …) builds the edge map and the
+  intervals once, in ``O(n)``;
+* ``children()`` builds the children rows once and returns the *cached*
+  tuple for a vertex, so callers may invoke it in loops without allocating.
+
+The flat arrays themselves are part of the public surface: hot loops are
+encouraged to grab ``edge_child_map()`` and ``euler_intervals()`` once and
+index them directly instead of paying a method call per query (this is what
+the Section 8 table builders do).
 """
 
 from __future__ import annotations
@@ -29,9 +51,9 @@ from repro.graph.graph import Edge, normalize_edge
 class ShortestPathTree:
     """A rooted shortest-path tree with O(1) ancestor and path-edge queries.
 
-    Instances are produced by :func:`repro.graph.bfs.bfs_tree`; the
-    constructor is considered internal but is exercised directly by unit
-    tests.
+    Instances are produced by :func:`repro.graph.bfs.bfs_tree` and
+    :func:`repro.graph.csr.bfs_tree_csr`; the constructor is considered
+    internal but is exercised directly by unit tests.
 
     Parameters
     ----------
@@ -46,6 +68,13 @@ class ShortestPathTree:
     order:
         Vertices in the order BFS dequeued them (root first).  Used by
         callers that need a top-down traversal order.
+
+    Notes
+    -----
+    List arguments are adopted without copying — the BFS kernels hand their
+    freshly built arrays straight over.  Derived structures (children rows,
+    tree-edge map, Euler intervals) are built lazily; see the module
+    docstring for the exact contract.
     """
 
     __slots__ = (
@@ -57,6 +86,7 @@ class ShortestPathTree:
         "_tin",
         "_tout",
         "_tree_edge_child",
+        "_preorder",
     )
 
     def __init__(
@@ -66,25 +96,46 @@ class ShortestPathTree:
         dist: Sequence[float],
         order: Sequence[int],
     ):
+        self.parent: List[Optional[int]] = (
+            parent if type(parent) is list else list(parent)
+        )
+        self.dist: List[float] = dist if type(dist) is list else list(dist)
+        self.order: List[int] = order if type(order) is list else list(order)
+        if not (0 <= root < len(self.parent)):
+            raise GraphError(
+                f"root {root} outside vertex range 0..{len(self.parent) - 1}"
+            )
         self.root = root
-        self.parent: List[Optional[int]] = list(parent)
-        self.dist: List[float] = list(dist)
-        self.order: List[int] = list(order)
+        # Derived structures; ``None`` until the first query that needs them.
+        self._children: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._tree_edge_child: Optional[Dict[Edge, int]] = None
+        self._tin: Optional[List[int]] = None
+        self._tout: Optional[List[int]] = None
+        self._preorder: Optional[List[int]] = None
+
+    # -- lazy construction helpers ------------------------------------------
+
+    def _build_children(self) -> Tuple[Tuple[int, ...], ...]:
+        """Materialise the per-vertex children rows (cached tuples)."""
         n = len(self.parent)
-        children: List[List[int]] = [[] for _ in range(n)]
+        rows: List[List[int]] = [[] for _ in range(n)]
+        for v, p in enumerate(self.parent):
+            if p is not None:
+                rows[p].append(v)
+        children = tuple(tuple(row) for row in rows)
+        self._children = children
+        return children
+
+    def _build_edge_child(self) -> Dict[Edge, int]:
+        """Materialise the normalised tree-edge ``->`` child endpoint map."""
         tree_edge_child: Dict[Edge, int] = {}
         for v, p in enumerate(self.parent):
-            if p is None:
-                continue
-            children[p].append(v)
-            tree_edge_child[(p, v) if p <= v else (v, p)] = v
-        self._children = children
+            if p is not None:
+                tree_edge_child[(p, v) if p <= v else (v, p)] = v
         self._tree_edge_child = tree_edge_child
-        self._tin, self._tout = self._euler_intervals(n)
+        return tree_edge_child
 
-    # -- construction helpers ----------------------------------------------
-
-    def _euler_intervals(self, n: int) -> Tuple[List[int], List[int]]:
+    def _build_intervals(self) -> Tuple[List[int], List[int]]:
         """Compute DFS entry/exit times without running a DFS.
 
         A vertex's Euler interval is determined by arithmetic alone: a
@@ -97,12 +148,11 @@ class ShortestPathTree:
         for plain BFS trees the timestamps coincide with a DFS over the
         child lists, while ``prefer_path``-reparented trees may order
         siblings differently (the intervals stay correct, the exact
-        timestamps are not part of the contract).  This runs once per BFS
-        tree, i.e. once per source, landmark and center, so it is on the
-        preprocessing hot path.
+        timestamps are not part of the contract).  Unreachable vertices keep
+        the ``-1`` sentinel in both arrays, which makes every interval test
+        against them fail — exactly the answer structural queries need.
         """
-        if not (0 <= self.root < n):
-            raise GraphError(f"root {self.root} outside vertex range 0..{n - 1}")
+        n = len(self.parent)
         tin = [-1] * n
         tout = [-1] * n
         parent = self.parent
@@ -129,7 +179,60 @@ class ShortestPathTree:
             tout[v] = t + 2 * size[v] - 1
             cursor[v] = t + 1
             cursor[p] = t + 2 * size[v]
+        self._tin = tin
+        self._tout = tout
         return tin, tout
+
+    # -- flat-array accessors for hot loops ----------------------------------
+
+    def edge_child_map(self) -> Dict[Edge, int]:
+        """The normalised tree-edge ``->`` child endpoint map (cached).
+
+        Hot loops bind this once and call ``.get`` directly instead of
+        paying a method dispatch per :meth:`edge_child` query.
+        """
+        tec = self._tree_edge_child
+        return tec if tec is not None else self._build_edge_child()
+
+    def euler_intervals(self) -> Tuple[List[int], List[int]]:
+        """The Euler ``(tin, tout)`` arrays (cached; ``-1`` = unreachable).
+
+        ``u`` is an ancestor of a *reachable* ``v`` iff
+        ``tin[u] <= tin[v] <= tout[u]``.
+        """
+        tin = self._tin
+        if tin is None:
+            return self._build_intervals()
+        return tin, self._tout  # type: ignore[return-value]
+
+    def preorder(self) -> List[int]:
+        """The reachable vertices in DFS preorder (cached).
+
+        Derived by sorting the BFS order by ``tin`` — the Euler intervals
+        are laminar, so ascending entry times are exactly a preorder
+        consistent with ``parent``.  Consumers that walk the tree top-down
+        with a path stack (the LCA tour, the assembly sweep) share this
+        instead of re-deriving it.
+        """
+        preorder = self._preorder
+        if preorder is None:
+            tin, _ = self.euler_intervals()
+            preorder = sorted(self.order, key=tin.__getitem__)
+            self._preorder = preorder
+        return preorder
+
+    @property
+    def has_structural_cache(self) -> bool:
+        """``True`` once any query materialised a derived structure.
+
+        Exposed for tests pinning the laziness contract; not used by the
+        algorithms themselves.
+        """
+        return (
+            self._tin is not None
+            or self._tree_edge_child is not None
+            or self._children is not None
+        )
 
     # -- basic accessors ----------------------------------------------------
 
@@ -146,9 +249,12 @@ class ShortestPathTree:
         """Return ``True`` when ``v`` is in the same component as the root."""
         return v == self.root or self.parent[v] is not None
 
-    def children(self, v: int) -> Sequence[int]:
-        """Return the children of ``v`` in the tree."""
-        return tuple(self._children[v])
+    def children(self, v: int) -> Tuple[int, ...]:
+        """Return the children of ``v`` in the tree (cached tuple, no copy)."""
+        children = self._children
+        if children is None:
+            children = self._build_children()
+        return children[v]
 
     # -- structural queries --------------------------------------------------
 
@@ -157,14 +263,12 @@ class ShortestPathTree:
         tree path (a vertex is an ancestor of itself)."""
         if not self.is_reachable(descendant) or not self.is_reachable(ancestor):
             return False
-        return (
-            self._tin[ancestor] <= self._tin[descendant]
-            and self._tout[descendant] <= self._tout[ancestor]
-        )
+        tin, tout = self.euler_intervals()
+        return tin[ancestor] <= tin[descendant] and tout[descendant] <= tout[ancestor]
 
     def is_tree_edge(self, edge: Sequence[int]) -> bool:
         """Return ``True`` when ``edge`` is an edge of the tree."""
-        return normalize_edge(int(edge[0]), int(edge[1])) in self._tree_edge_child
+        return normalize_edge(int(edge[0]), int(edge[1])) in self.edge_child_map()
 
     def edge_child(self, edge: Sequence[int]) -> Optional[int]:
         """Return the lower (child) endpoint of a tree edge, or ``None``.
@@ -173,18 +277,23 @@ class ShortestPathTree:
         the endpoint farther from the root; its subtree is exactly the set of
         vertices whose root path uses the edge.
         """
-        return self._tree_edge_child.get(normalize_edge(int(edge[0]), int(edge[1])))
+        return self.edge_child_map().get(normalize_edge(int(edge[0]), int(edge[1])))
 
     def tree_path_uses_edge(self, edge: Sequence[int], target: int) -> bool:
         """Does the canonical root->``target`` path use the edge ``edge``?
 
         Non-tree edges are never used by tree paths; for a tree edge the
-        answer is a subtree-membership test on its child endpoint.
+        answer is a subtree-membership test on its child endpoint.  The
+        ``-1`` sentinel of unreachable targets fails the lower interval
+        bound (every tree-edge child has ``tin >= 1``), so no reachability
+        pre-check is needed.
         """
-        child = self.edge_child(edge)
+        u, v = int(edge[0]), int(edge[1])
+        child = self.edge_child_map().get((u, v) if u <= v else (v, u))
         if child is None:
             return False
-        return self.is_ancestor(child, target)
+        tin, tout = self.euler_intervals()
+        return tin[child] <= tin[target] <= tout[child]
 
     def distance_avoiding(self, edge: Edge, target: int) -> float:
         """Root-``target`` distance when the canonical path avoids ``edge``.
@@ -199,9 +308,18 @@ class ShortestPathTree:
             return d
         if edge[0] > edge[1]:
             edge = (edge[1], edge[0])
-        child = self._tree_edge_child.get(edge)
-        if child is not None and self._tin[child] <= self._tin[target] <= self._tout[child]:
-            return math.inf
+        tec = self._tree_edge_child
+        if tec is None:
+            tec = self._build_edge_child()
+        child = tec.get(edge)
+        if child is not None:
+            tin = self._tin
+            if tin is None:
+                tin, tout = self._build_intervals()
+            else:
+                tout = self._tout
+            if tin[child] <= tin[target] <= tout[child]:
+                return math.inf
         return d
 
     def path_to(self, target: int) -> List[int]:
@@ -236,7 +354,8 @@ class ShortestPathTree:
         ``path`` must be a root-to-vertex tree path (``path[0] == root``).
         The returned list ``a`` satisfies: ``a[x]`` is the largest index ``j``
         such that ``path[j]`` is an ancestor of ``x``, or ``-1`` when ``x`` is
-        unreachable.  Computed in a single top-down sweep, ``O(n)``.
+        unreachable.  Computed in a single top-down sweep, ``O(n)``, using
+        only ``parent``/``order`` — it never touches the lazy caches.
 
         This is the quantity the classical replacement-path algorithm uses to
         decide, for every failed path edge ``e_i``, whether the canonical
@@ -259,8 +378,9 @@ class ShortestPathTree:
         """Return the number of vertices in the subtree rooted at ``v``."""
         if not self.is_reachable(v):
             return 0
+        tin, tout = self.euler_intervals()
         # Euler intervals contain one entry and one exit per subtree vertex.
-        return (self._tout[v] - self._tin[v] + 1) // 2
+        return (tout[v] - tin[v] + 1) // 2
 
     def reachable_vertices(self) -> List[int]:
         """Return the vertices reachable from the root (the BFS order)."""

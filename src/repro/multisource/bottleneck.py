@@ -34,7 +34,7 @@ from repro.graph.graph import Edge, normalize_edge
 from repro.graph.tree import ShortestPathTree
 from repro.multisource.intervals import PathInterval
 from repro.multisource.tables import PairEdgeTable
-from repro.rp.dijkstra import AuxiliaryGraphBuilder, dijkstra
+from repro.rp.dijkstra import InternedAuxiliaryGraph
 
 
 class MTCEvaluator:
@@ -197,7 +197,7 @@ def compute_interval_avoiding_tables(
     dict
         ``(landmark, interval ordinal) -> |sr <> B[s, r, i]|``.
     """
-    builder = AuxiliaryGraphBuilder()
+    builder = InternedAuxiliaryGraph()
     src_node = ("s",)
     builder.add_node(src_node)
 
@@ -273,7 +273,7 @@ def compute_interval_avoiding_tables(
                     # plain distance |s r'| is realisable.
                     builder.add_edge(("r", other), node, hop)
 
-    distances, _ = dijkstra(builder.adjacency(), src_node)
+    distances, _ = builder.dijkstra(src_node)
 
     result: Dict[Tuple[int, int], float] = {}
     for landmark in landmarks:

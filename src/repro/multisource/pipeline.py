@@ -238,16 +238,14 @@ def _near_landmark_candidate(
     candidate is realisable, so this extra generator can only tighten the
     minimum, never corrupt it.
     """
-    best = math.inf
+    inf = math.inf
+    best = inf
     for center in level0_centers:
-        tree = center_trees[center]
-        if not tree.is_reachable(landmark):
+        # Fused reachability + "canonical path avoids edge" + distance scan.
+        hop = center_trees[center].distance_avoiding(edge, landmark)
+        if hop is inf:
             continue
-        if tree.tree_path_uses_edge(edge, landmark):
-            continue
-        candidate = evaluator.source_to_center(center, edge) + float(
-            tree.dist[landmark]
-        )
+        candidate = evaluator.source_to_center(center, edge) + float(hop)
         if candidate < best:
             best = candidate
     return best

@@ -36,7 +36,7 @@ from repro.core.params import ProblemScale
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
 from repro.multisource.centers import CenterHierarchy
-from repro.rp.dijkstra import AuxiliaryGraphBuilder, dijkstra
+from repro.rp.dijkstra import InternedAuxiliaryGraph
 
 #: (endpoint, failed edge) -> replacement length
 PairEdgeTable = Dict[Tuple[int, Edge], float]
@@ -93,11 +93,13 @@ def compute_source_to_center_tables(
     every edge among the first ``interval_edge_budget(priority(c))`` edges
     of the canonical ``c``-``source`` path.
     """
-    builder = AuxiliaryGraphBuilder()
+    aux = InternedAuxiliaryGraph()
     src_node = ("s",)
-    builder.add_node(src_node)
+    src_id = aux.intern(src_node)
 
-    # Node set: [c] for every reachable center, [c, e] for its budgeted edges.
+    # Node set: [c] for every reachable center, [c, e] for its budgeted
+    # edges — all interned to dense ids up front so the quadratic edge loops
+    # below never hash a tuple node.
     reachable_centers: List[int] = []
     node_edges: Dict[int, List[Edge]] = {}
     for center in sorted(centers.all):
@@ -107,42 +109,73 @@ def compute_source_to_center_tables(
         budget = scale.interval_edge_budget(centers.priority_of(center))
         node_edges[center] = _edges_towards_root(source_tree, center, budget)
 
-    existing_ce = {
-        (center, e) for center, edges in node_edges.items() for e in edges
+    c_ids = {center: aux.intern(("c", center)) for center in reachable_centers}
+    ce_ids: Dict[Tuple[int, Edge], int] = {
+        (center, e): aux.intern(("ce", center, e))
+        for center, edges in node_edges.items()
+        for e in edges
+    }
+    # Per-center edge -> node id maps, resolved once for the hot loop.
+    edge_ids: Dict[int, Dict[Edge, int]] = {
+        center: {e: ce_ids[(center, e)] for e in edges}
+        for center, edges in node_edges.items()
     }
 
     # [s] -> [c]  (weight |sc|) and [s] -> [c, e] (small replacement paths).
+    add_arc = aux.add_arc
+    source_dist = source_tree.dist
     for center in reachable_centers:
-        builder.add_edge(src_node, ("c", center), float(source_tree.dist[center]))
+        add_arc(src_id, c_ids[center], float(source_dist[center]))
         for e in node_edges[center]:
             small_value = near_small.value(center, e)
             if small_value is not math.inf:
-                builder.add_edge(src_node, ("ce", center, e), small_value)
-            else:
-                builder.add_node(("ce", center, e))
+                add_arc(src_id, ce_ids[(center, e)], small_value)
 
-    # [c'] -> [c, e] and [c', e] -> [c, e].
-    for center in reachable_centers:
-        for e in node_edges[center]:
-            target_node = ("ce", center, e)
-            for other in reachable_centers:
-                other_tree = center_trees[other]
-                if not other_tree.is_reachable(center):
+    # [c'] -> [c, e] and [c', e] -> [c, e].  Iterating c' outermost binds
+    # each center tree's edge map and Euler intervals once; the two "does
+    # the canonical path use e" guards are then pure array reads, and arcs
+    # go straight into the interned graph's parallel lists.
+    s_tec_get = source_tree.edge_child_map().get
+    s_tin, s_tout = source_tree.euler_intervals()
+    arc_src, arc_dst, arc_w = aux.arc_lists()
+    src_app, dst_app, w_app = arc_src.append, arc_dst.append, arc_w.append
+    for other in reachable_centers:
+        other_tree = center_trees[other]
+        o_dist = other_tree.dist
+        o_tec_get = other_tree.edge_child_map().get
+        o_tin, o_tout = other_tree.euler_intervals()
+        other_c_id = c_ids[other]
+        s_t_other = s_tin[other]
+        oe_map_get = edge_ids[other].get
+        for center in reachable_centers:
+            hop = o_dist[center]
+            if hop is math.inf:
+                continue
+            hop = float(hop)
+            o_t_center = o_tin[center]
+            for e, target_id in edge_ids[center].items():
+                # other_tree.tree_path_uses_edge(e, center)
+                child = o_tec_get(e)
+                if child is not None and o_tin[child] <= o_t_center <= o_tout[child]:
                     continue
-                hop = float(other_tree.dist[center])
-                if other_tree.tree_path_uses_edge(e, center):
-                    continue
-                if not source_tree.tree_path_uses_edge(e, other):
-                    builder.add_edge(("c", other), target_node, hop)
-                if (other, e) in existing_ce:
-                    builder.add_edge(("ce", other, e), target_node, hop)
+                # source_tree.tree_path_uses_edge(e, other)
+                child = s_tec_get(e)
+                if child is None or not (s_tin[child] <= s_t_other <= s_tout[child]):
+                    src_app(other_c_id)
+                    dst_app(target_id)
+                    w_app(hop)
+                other_ce_id = oe_map_get(e)
+                if other_ce_id is not None:
+                    src_app(other_ce_id)
+                    dst_app(target_id)
+                    w_app(hop)
 
-    distances, _ = dijkstra(builder.adjacency(), src_node)
+    distances, _ = aux.dijkstra(src_node)
 
     table: PairEdgeTable = {}
-    for center, edges in node_edges.items():
-        for e in edges:
-            table[(center, e)] = distances.get(("ce", center, e), math.inf)
+    by_id = distances.by_id
+    for key, node_id in ce_ids.items():
+        table[key] = by_id(node_id, math.inf)
     return table
 
 
@@ -217,9 +250,9 @@ def compute_center_to_landmark_tables(
     small_through = small_through or {}
     budget = scale.interval_edge_budget(priority)
 
-    builder = AuxiliaryGraphBuilder()
+    aux = InternedAuxiliaryGraph()
     src_node = ("c",)
-    builder.add_node(src_node)
+    src_id = aux.intern(src_node)
 
     reachable_landmarks: List[int] = []
     node_edges: Dict[int, List[Edge]] = {}
@@ -229,41 +262,102 @@ def compute_center_to_landmark_tables(
         reachable_landmarks.append(landmark)
         node_edges[landmark] = _first_edges_from_root(center_tree, landmark, budget)
 
-    existing_re = {
-        (landmark, e) for landmark, edges in node_edges.items() for e in edges
+    r_ids = {landmark: aux.intern(("r", landmark)) for landmark in reachable_landmarks}
+    re_ids: Dict[Tuple[int, Edge], int] = {
+        (landmark, e): aux.intern(("re", landmark, e))
+        for landmark, edges in node_edges.items()
+        for e in edges
     }
 
+    # Dense index over the *distinct* budgeted edges (canonical paths share
+    # prefixes, so the same edge appears for many landmarks).  Every
+    # budgeted edge is a tree edge of the center tree, so its subtree
+    # interval — the "canonical center path to x uses e" test — is resolved
+    # here once and becomes two integer compares in the hot loop.
+    c_tec_get = center_tree.edge_child_map().get
+    c_tin, c_tout = center_tree.euler_intervals()
+    e_index: Dict[Edge, int] = {}
+    c_lo: List[int] = []
+    c_hi: List[int] = []
+    edge_entries: Dict[int, List[Tuple[int, int]]] = {}
+    for landmark, edges in node_edges.items():
+        entries = []
+        for e in edges:
+            idx = e_index.get(e)
+            if idx is None:
+                idx = len(c_lo)
+                e_index[e] = idx
+                child = c_tec_get(e)
+                c_lo.append(c_tin[child])
+                c_hi.append(c_tout[child])
+            entries.append((idx, re_ids[(landmark, e)]))
+        edge_entries[landmark] = entries
+    num_distinct = len(c_lo)
+
     # [c] -> [r] and [c] -> [r, e] (small paths through the center).
+    add_arc = aux.add_arc
+    center_dist = center_tree.dist
     for landmark in reachable_landmarks:
-        builder.add_edge(src_node, ("r", landmark), float(center_tree.dist[landmark]))
+        add_arc(src_id, r_ids[landmark], float(center_dist[landmark]))
         for e in node_edges[landmark]:
-            node = ("re", landmark, e)
             small_value = small_through.get((landmark, e), math.inf)
             if small_value is not math.inf:
-                builder.add_edge(src_node, node, small_value)
-            else:
-                builder.add_node(node)
+                add_arc(src_id, re_ids[(landmark, e)], small_value)
 
-    # [r'] -> [r, e] and [r', e] -> [r, e].
-    for landmark in reachable_landmarks:
-        for e in node_edges[landmark]:
-            target_node = ("re", landmark, e)
-            for other in reachable_landmarks:
-                other_tree = landmark_trees[other]
-                if not other_tree.is_reachable(landmark):
+    # [r'] -> [r, e] and [r', e] -> [r, e].  This triple loop dominates the
+    # whole Section 8 construction (|L|^2 x budget iterations), so the body
+    # is pure array reads: per r' the distinct edges are resolved against
+    # r''s tree once into interval arrays (empty interval = not a tree edge
+    # of r'), and arcs go straight into the interned graph's parallel lists
+    # via bound appends.
+    arc_src, arc_dst, arc_w = aux.arc_lists()
+    src_app, dst_app, w_app = arc_src.append, arc_dst.append, arc_w.append
+    for other in reachable_landmarks:
+        other_tree = landmark_trees[other]
+        o_dist = other_tree.dist
+        o_tec_get = other_tree.edge_child_map().get
+        o_tin, o_tout = other_tree.euler_intervals()
+        other_r_id = r_ids[other]
+        c_t_other = c_tin[other]
+        # Subtree interval of every distinct edge in r''s tree ((1, 0) —
+        # empty — when e is not a tree edge there, so the containment test
+        # below needs no None branch).
+        o_lo = [1] * num_distinct
+        o_hi = [0] * num_distinct
+        for e, idx in e_index.items():
+            child = o_tec_get(e)
+            if child is not None:
+                o_lo[idx] = o_tin[child]
+                o_hi[idx] = o_tout[child]
+        # [r', e] node id per distinct edge (None when r' has no such node).
+        oe_by_idx: List[Optional[int]] = [None] * num_distinct
+        for idx, node_id in edge_entries[other]:
+            oe_by_idx[idx] = node_id
+        for landmark in reachable_landmarks:
+            hop = o_dist[landmark]
+            if hop is math.inf:
+                continue
+            hop = float(hop)
+            o_t_landmark = o_tin[landmark]
+            for idx, target_id in edge_entries[landmark]:
+                # other_tree.tree_path_uses_edge(e, landmark)
+                if o_lo[idx] <= o_t_landmark <= o_hi[idx]:
                     continue
-                hop = float(other_tree.dist[landmark])
-                if other_tree.tree_path_uses_edge(e, landmark):
-                    continue
-                if not center_tree.tree_path_uses_edge(e, other):
-                    builder.add_edge(("r", other), target_node, hop)
-                if (other, e) in existing_re:
-                    builder.add_edge(("re", other, e), target_node, hop)
+                # center_tree.tree_path_uses_edge(e, other)
+                if not (c_lo[idx] <= c_t_other <= c_hi[idx]):
+                    src_app(other_r_id)
+                    dst_app(target_id)
+                    w_app(hop)
+                other_re_id = oe_by_idx[idx]
+                if other_re_id is not None:
+                    src_app(other_re_id)
+                    dst_app(target_id)
+                    w_app(hop)
 
-    distances, _ = dijkstra(builder.adjacency(), src_node)
+    distances, _ = aux.dijkstra(src_node)
 
     table: PairEdgeTable = {}
-    for landmark, edges in node_edges.items():
-        for e in edges:
-            table[(landmark, e)] = distances.get(("re", landmark, e), math.inf)
+    by_id = distances.by_id
+    for key, node_id in re_ids.items():
+        table[key] = by_id(node_id, math.inf)
     return table

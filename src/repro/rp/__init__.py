@@ -1,5 +1,11 @@
 """Replacement-path primitives: classical single-pair algorithm, brute force,
-and the Dijkstra runner used by the auxiliary-graph constructions."""
+and the Dijkstra substrates used by the auxiliary-graph constructions.
+
+Two Dijkstra substrates are exported: the dict-based reference pair
+(:class:`AuxiliaryGraphBuilder` + :func:`dijkstra`) that defines the
+semantics, and the flat-array :class:`InternedAuxiliaryGraph` the hot paths
+run on (dense integer node ids, CSR arcs, ``(float, int)`` heap entries).
+"""
 
 from repro.rp.bruteforce import (
     brute_force_multi_source,
@@ -8,7 +14,12 @@ from repro.rp.bruteforce import (
     count_reported_pairs,
     replacement_distance,
 )
-from repro.rp.dijkstra import AuxiliaryGraphBuilder, dijkstra, reconstruct_path
+from repro.rp.dijkstra import (
+    AuxiliaryGraphBuilder,
+    InternedAuxiliaryGraph,
+    dijkstra,
+    reconstruct_path,
+)
 from repro.rp.single_pair import (
     SinglePairReplacementPaths,
     replacement_path_lengths,
@@ -27,4 +38,5 @@ __all__ = [
     "dijkstra",
     "reconstruct_path",
     "AuxiliaryGraphBuilder",
+    "InternedAuxiliaryGraph",
 ]

@@ -2,12 +2,36 @@
 
 The paper repeatedly builds a weighted, directed *auxiliary graph* whose
 nodes are tuples such as ``[t]``, ``[t, e]`` or ``[s, r, i]`` and runs
-Dijkstra from a designated source node.  Because these graphs are built on
-the fly and their node identities are tuples rather than dense integers,
-the implementation here works over an adjacency mapping
-``node -> list of (neighbour, weight)`` and returns distances (and
-optionally predecessors, which Section 8.2.1 needs to enumerate the actual
-small replacement paths).
+Dijkstra from a designated source node.  Two substrates implement this:
+
+* the **reference** pair :class:`AuxiliaryGraphBuilder` + :func:`dijkstra`
+  works over an adjacency mapping ``node -> list of (neighbour, weight)``
+  keyed by the tuple nodes themselves.  It defines the semantics, stays
+  deliberately simple, and remains the equivalence oracle for tests.
+* the **interned** :class:`InternedAuxiliaryGraph` is the hot-path form:
+  every tuple node is assigned a dense integer id the moment it first
+  appears (``intern`` / ``add_edge``), arcs are stored in flat parallel
+  lists compiled to a CSR layout on the first Dijkstra run, and the heap
+  loop works exclusively on ``(float, int)`` pairs with array-indexed
+  ``dist`` / ``settled`` state — no tuple hashing anywhere inside the loop.
+  Builders that already hold the integer ids call ``add_arc`` and skip the
+  interning dictionary entirely.
+
+Laziness / validation contract
+------------------------------
+Edge weights must be non-negative; the auxiliary graphs only use BFS
+distances and unit weights so this always holds.  Both substrates keep a
+defensive check — a negative weight would silently corrupt every downstream
+replacement distance — but validate **once per auxiliary graph** (a single
+flat scan before the first relaxation), not per visited arc inside the heap
+loop.  The interned graph compiles its CSR arrays lazily on the first
+:meth:`InternedAuxiliaryGraph.dijkstra` call and caches them; adding arcs
+afterwards invalidates the cache.
+
+The optional predecessor tracking (Section 8.2.1 needs it to enumerate the
+actual small replacement paths) returns mapping views that translate the
+internal integer ids back to the original tuple nodes, so
+:func:`reconstruct_path` works identically on both substrates.
 """
 
 from __future__ import annotations
@@ -15,10 +39,32 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from collections import Counter
+from typing import (
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 Node = Hashable
 AdjacencyMap = Mapping[Node, Sequence[Tuple[Node, float]]]
+
+_INF = math.inf
+
+
+def _check_weights(adjacency: AdjacencyMap) -> None:
+    """Reject negative weights with one flat scan (hoisted off the heap loop)."""
+    for node, arcs in adjacency.items():
+        for neighbour, weight in arcs:
+            if weight < 0:
+                raise ValueError(
+                    f"negative weight {weight} on auxiliary edge {node} -> {neighbour}"
+                )
 
 
 def dijkstra(
@@ -48,11 +94,11 @@ def dijkstra(
 
     Notes
     -----
-    Edge weights must be non-negative; the auxiliary graphs only use BFS
-    distances and unit weights so this always holds.  A defensive check is
-    kept because a negative weight would silently corrupt every downstream
-    replacement distance.
+    Edge weights are validated once, before the heap loop starts (see the
+    module docstring); the whole graph is rejected when any edge — even one
+    unreachable from ``source`` — carries a negative weight.
     """
+    _check_weights(adjacency)
     dist: Dict[Node, float] = {source: 0.0}
     pred: Optional[Dict[Node, Node]] = {} if with_predecessors else None
     counter = itertools.count()
@@ -64,12 +110,8 @@ def dijkstra(
             continue
         settled.add(node)
         for neighbour, weight in adjacency.get(node, ()):
-            if weight < 0:
-                raise ValueError(
-                    f"negative weight {weight} on auxiliary edge {node} -> {neighbour}"
-                )
             candidate = d + weight
-            if candidate < dist.get(neighbour, math.inf):
+            if candidate < dist.get(neighbour, _INF):
                 dist[neighbour] = candidate
                 if pred is not None:
                     pred[neighbour] = node
@@ -82,6 +124,8 @@ def reconstruct_path(
 ) -> List[Node]:
     """Rebuild the node sequence of a shortest path found by :func:`dijkstra`.
 
+    Accepts both the plain predecessor dict of the reference implementation
+    and the :class:`InternedPredecessors` view of the interned substrate.
     Returns an empty list when ``target`` was not reached.
     """
     if target == source:
@@ -98,12 +142,12 @@ def reconstruct_path(
 
 
 class AuxiliaryGraphBuilder:
-    """Incremental builder for the auxiliary graphs of the paper.
+    """Incremental builder for the auxiliary graphs of the paper (reference).
 
-    The builders in :mod:`repro.core.near_small` and
-    :mod:`repro.multisource` create many nodes and edges in loops; this tiny
-    helper keeps that code readable and guarantees the adjacency mapping
-    has a uniform shape.
+    Keeps the adjacency mapping in the uniform ``node -> [(nbr, w)]`` shape
+    :func:`dijkstra` consumes.  The hot paths build
+    :class:`InternedAuxiliaryGraph` instead; this builder remains the
+    readable reference and the shape the equivalence tests pin against.
     """
 
     __slots__ = ("_adjacency",)
@@ -131,3 +175,285 @@ class AuxiliaryGraphBuilder:
     @property
     def num_edges(self) -> int:
         return sum(len(v) for v in self._adjacency.values())
+
+
+class InternedDistances:
+    """Read-only ``node -> distance`` view over the interned dist array.
+
+    Behaves like the distance dict of the reference :func:`dijkstra` for the
+    operations the pipeline uses (``get``, membership, iteration over
+    reached nodes) while storing nothing but a reference to the flat array.
+    ``by_id`` skips the interning dictionary for callers that kept the
+    integer ids of the nodes they care about.
+    """
+
+    __slots__ = ("_ids", "_nodes", "_dist")
+
+    def __init__(self, ids: Dict[Node, int], nodes: List[Node], dist: List[float]):
+        self._ids = ids
+        self._nodes = nodes
+        self._dist = dist
+
+    def get(self, node: Node, default: float = _INF) -> float:
+        # ``>= len`` guards nodes interned after the run: the view aliases
+        # the live id dict but snapshots the dist array's length.
+        i = self._ids.get(node)
+        if i is None or i >= len(self._dist):
+            return default
+        d = self._dist[i]
+        return default if d is _INF else d
+
+    def by_id(self, node_id: int, default: float = _INF) -> float:
+        """Distance of an interned id (``default`` when unreached)."""
+        d = self._dist[node_id]
+        return default if d is _INF else d
+
+    def __contains__(self, node: object) -> bool:
+        i = self._ids.get(node)
+        return i is not None and i < len(self._dist) and self._dist[i] is not _INF
+
+    def __getitem__(self, node: Node) -> float:
+        i = self._ids.get(node)
+        if i is None or i >= len(self._dist) or self._dist[i] is _INF:
+            raise KeyError(node)
+        return self._dist[i]
+
+    def __iter__(self) -> Iterator[Node]:
+        for i, d in enumerate(self._dist):
+            if d is not _INF:
+                yield self._nodes[i]
+
+    def __len__(self) -> int:
+        return sum(1 for d in self._dist if d is not _INF)
+
+    def items(self) -> Iterator[Tuple[Node, float]]:
+        for i, d in enumerate(self._dist):
+            if d is not _INF:
+                yield self._nodes[i], d
+
+    def to_dict(self) -> Dict[Node, float]:
+        """Materialise the reference-shaped distance dict (tests)."""
+        return dict(self.items())
+
+
+class InternedPredecessors:
+    """Read-only ``node -> predecessor node`` view over the pred array.
+
+    Supports exactly the mapping protocol :func:`reconstruct_path` needs
+    (``in`` and ``[]``); ``-1`` entries mean "no predecessor recorded".
+    """
+
+    __slots__ = ("_ids", "_nodes", "_pred")
+
+    def __init__(self, ids: Dict[Node, int], nodes: List[Node], pred: List[int]):
+        self._ids = ids
+        self._nodes = nodes
+        self._pred = pred
+
+    def __contains__(self, node: object) -> bool:
+        i = self._ids.get(node)
+        return i is not None and i < len(self._pred) and self._pred[i] >= 0
+
+    def __getitem__(self, node: Node) -> Node:
+        i = self._ids.get(node)
+        if i is None or i >= len(self._pred) or self._pred[i] < 0:
+            raise KeyError(node)
+        return self._nodes[self._pred[i]]
+
+    def get(self, node: Node, default: Optional[Node] = None) -> Optional[Node]:
+        i = self._ids.get(node)
+        if i is None or i >= len(self._pred) or self._pred[i] < 0:
+            return default
+        return self._nodes[self._pred[i]]
+
+    def to_dict(self) -> Dict[Node, Node]:
+        """Materialise the reference-shaped predecessor dict (tests)."""
+        return {
+            self._nodes[i]: self._nodes[p]
+            for i, p in enumerate(self._pred)
+            if p >= 0
+        }
+
+
+class InternedAuxiliaryGraph:
+    """Auxiliary graph with dense integer node ids and flat CSR arcs.
+
+    Drop-in replacement for :class:`AuxiliaryGraphBuilder` +
+    :func:`dijkstra`: the same ``add_node`` / ``add_edge`` surface accepts
+    the tuple nodes of the paper's constructions and interns them to dense
+    integers on first sight, while ``intern`` + ``add_arc`` let builders
+    that resolve their node ids up front bypass tuple hashing entirely.
+    ``dijkstra`` then runs with array-indexed state and returns views that
+    translate back to the original nodes, so downstream table extraction is
+    unchanged.
+    """
+
+    __slots__ = (
+        "_ids",
+        "_nodes",
+        "_arc_src",
+        "_arc_dst",
+        "_arc_w",
+        "_csr_offsets",
+        "_csr_dst",
+        "_csr_w",
+    )
+
+    def __init__(self) -> None:
+        self._ids: Dict[Node, int] = {}
+        self._nodes: List[Node] = []
+        self._arc_src: List[int] = []
+        self._arc_dst: List[int] = []
+        self._arc_w: List[float] = []
+        self._csr_offsets: Optional[List[int]] = None
+        self._csr_dst: Optional[List[int]] = None
+        self._csr_w: Optional[List[float]] = None
+
+    # -- construction --------------------------------------------------------
+
+    def intern(self, node: Node) -> int:
+        """Return the dense id of ``node``, assigning the next free one."""
+        ids = self._ids
+        i = ids.get(node)
+        if i is None:
+            i = len(self._nodes)
+            ids[node] = i
+            self._nodes.append(node)
+        return i
+
+    def add_node(self, node: Node) -> int:
+        """Ensure ``node`` exists (builder-API parity); returns its id."""
+        return self.intern(node)
+
+    def add_arc(self, u_id: int, v_id: int, weight: float) -> None:
+        """Add ``u -> v`` by dense ids — the no-hashing hot path."""
+        self._arc_src.append(u_id)
+        self._arc_dst.append(v_id)
+        self._arc_w.append(weight)
+        self._csr_offsets = None
+
+    def add_edge(self, u: Node, v: Node, weight: float) -> None:
+        """Add the directed edge ``u -> v``, interning both endpoints."""
+        self.add_arc(self.intern(u), self.intern(v), weight)
+
+    def arc_lists(self) -> Tuple[List[int], List[int], List[float]]:
+        """The raw parallel ``(src, dst, weight)`` arc lists, for bulk appends.
+
+        The tightest builder loops (the ``|L|^2 x budget`` Section 8 ones)
+        bind the three ``append`` methods directly instead of paying a
+        method call per arc.  Appends must keep the lists parallel; the
+        compiled CSR cache is invalidated here, so call this *before*
+        appending (our builders fetch the lists once, up front).
+        """
+        self._csr_offsets = None
+        return self._arc_src, self._arc_dst, self._arc_w
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._arc_src)
+
+    def node_of(self, node_id: int) -> Node:
+        """The original tuple node behind a dense id."""
+        return self._nodes[node_id]
+
+    def id_of(self, node: Node) -> Optional[int]:
+        """The dense id of ``node`` (``None`` when never interned)."""
+        return self._ids.get(node)
+
+    # -- the interned Dijkstra ----------------------------------------------
+
+    def _compile(self) -> Tuple[List[int], List[int], List[float]]:
+        """Bucket the arc lists into CSR rows; validate weights once.
+
+        Runs once per (graph, mutation) — the auxiliary graphs are built
+        fully and then solved, so in practice once per graph.
+        """
+        n = len(self._nodes)
+        arc_src, arc_dst, arc_w = self._arc_src, self._arc_dst, self._arc_w
+        # One C-level min() validates every weight without a per-arc branch
+        # in the bucketing loop below (the once-per-graph hoisted check).
+        if arc_w and min(arc_w) < 0:
+            k = min(range(len(arc_w)), key=arc_w.__getitem__)
+            raise ValueError(
+                f"negative weight {arc_w[k]} on auxiliary edge "
+                f"{self._nodes[arc_src[k]]} -> {self._nodes[arc_dst[k]]}"
+            )
+        # Counter counts at C speed; the prefix sum only touches n+1 slots.
+        counts = Counter(arc_src)
+        offsets = [0] * (n + 1)
+        total = 0
+        counts_get = counts.get
+        for i in range(n):
+            total += counts_get(i, 0)
+            offsets[i + 1] = total
+        cursor = list(offsets)
+        dst: List[int] = [0] * len(arc_src)
+        weights: List[float] = [0.0] * len(arc_src)
+        for u, v, w in zip(arc_src, arc_dst, arc_w):
+            slot = cursor[u]
+            dst[slot] = v
+            weights[slot] = w
+            cursor[u] = slot + 1
+        self._csr_offsets = offsets
+        self._csr_dst = dst
+        self._csr_w = weights
+        return offsets, dst, weights
+
+    def dijkstra(
+        self, source: Node, with_predecessors: bool = False
+    ) -> Tuple[InternedDistances, Optional[InternedPredecessors]]:
+        """Run Dijkstra from ``source`` (a node; interned if new).
+
+        The heap holds ``(distance, id)`` pairs — float/int comparisons
+        only — and ``dist`` / ``settled`` / ``pred`` are flat arrays indexed
+        by the dense ids.  Ties are broken by id, which preserves the
+        distances exactly (any tie-break yields the same distance array).
+        """
+        offsets = self._csr_offsets
+        # Recompile when missing or stale — arcs appended through the raw
+        # arc_lists() references after a previous run don't invalidate the
+        # cache, but they do grow the arc lists past the compiled total.
+        if offsets is None or offsets[-1] != len(self._arc_src):
+            offsets, dst, weights = self._compile()
+        else:
+            dst, weights = self._csr_dst, self._csr_w
+        source_id = self.intern(source)
+        n = len(self._nodes)
+        inf = _INF
+        dist: List[float] = [inf] * n
+        pred: Optional[List[int]] = [-1] * n if with_predecessors else None
+        settled = bytearray(n)
+        dist[source_id] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source_id)]
+        pop, push = heapq.heappop, heapq.heappush
+        if source_id >= len(offsets) - 1:
+            # ``source`` was new: it has no outgoing arcs, nothing to relax.
+            heap = []
+        while heap:
+            d, u = pop(heap)
+            if settled[u]:
+                continue
+            settled[u] = 1
+            lo, hi = offsets[u], offsets[u + 1]
+            # Slice + zip keeps the per-arc iteration in C; the slices are
+            # transient row views, far cheaper than two indexings per arc.
+            for v, w in zip(dst[lo:hi], weights[lo:hi]):
+                candidate = d + w
+                if candidate < dist[v]:
+                    dist[v] = candidate
+                    if pred is not None:
+                        pred[v] = u
+                    push(heap, (candidate, v))
+        distances = InternedDistances(self._ids, self._nodes, dist)
+        predecessors = (
+            InternedPredecessors(self._ids, self._nodes, pred)
+            if pred is not None
+            else None
+        )
+        return distances, predecessors

@@ -15,6 +15,15 @@ contracts against each other:
 * **CSR BFS == dict BFS** — the flat kernel and the reference
   implementation produce identical distances, parents and orders on the
   same battery, with and without forbidden edges.
+* **Lazy tree == parent-walk reference** — the lazily materialised
+  structural queries of :class:`ShortestPathTree` (``is_ancestor``,
+  ``edge_child``, ``distance_avoiding``, ``subtree_size``) agree with
+  naive parent-pointer walks, and trees produced by ``bfs_many`` build no
+  structural cache until the first structural query.
+* **Interned Dijkstra == reference Dijkstra** — the flat-array
+  :class:`InternedAuxiliaryGraph` produces the same distances (and
+  distance-consistent predecessors) as the dict-based reference on the
+  same randomly weighted auxiliary graphs.
 
 The default battery is sized to stay fast; the ``slow`` marked variants
 rerun the same invariants over many more seeds (deselect in CI with
@@ -33,8 +42,15 @@ from repro.core.params import AlgorithmParams
 from repro.core.ssrp import single_source_replacement_paths
 from repro.graph import generators
 from repro.graph.bfs import bfs_distances, bfs_tree
-from repro.graph.csr import bfs_distances_csr, bfs_tree_csr
+from repro.graph.csr import bfs_distances_csr, bfs_many, bfs_tree_csr
+from repro.graph.graph import normalize_edge
 from repro.rp.bruteforce import brute_force_multi_source, brute_force_single_source
+from repro.rp.dijkstra import (
+    AuxiliaryGraphBuilder,
+    InternedAuxiliaryGraph,
+    dijkstra,
+    reconstruct_path,
+)
 
 #: name -> seeded factory covering every generator in the module.
 GENERATORS = {
@@ -139,6 +155,200 @@ def test_csr_bfs_equals_dict_bfs(name):
             assert bfs_distances_csr(graph, 0, forbidden_edge=edge) == bfs_distances(
                 graph, 0, forbidden_edge=edge
             )
+
+
+# -- lazy tree structural queries vs parent-walk references -----------------
+
+
+def ref_is_ancestor(tree, ancestor, descendant):
+    """Walk parent pointers from ``descendant`` to the root."""
+    if not tree.is_reachable(descendant) or not tree.is_reachable(ancestor):
+        return False
+    v = descendant
+    while v is not None:
+        if v == ancestor:
+            return True
+        v = tree.parent[v]
+    return False
+
+
+def ref_path_edge_set(tree, target):
+    """Normalised edges of the canonical root-``target`` path."""
+    edges = set()
+    v = target
+    while tree.parent[v] is not None:
+        edges.add(normalize_edge(tree.parent[v], v))
+        v = tree.parent[v]
+    return edges
+
+
+def ref_edge_child(tree, edge):
+    u, v = edge
+    if tree.parent[v] == u:
+        return v
+    if tree.parent[u] == v:
+        return u
+    return None
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_lazy_tree_queries_match_parent_walk_reference(name):
+    for seed in (1, 2):
+        graph = GENERATORS[name](seed)
+        n = graph.num_vertices
+        tree = bfs_tree_csr(graph, seed % n)
+        for ancestor in range(n):
+            for descendant in range(n):
+                assert tree.is_ancestor(ancestor, descendant) == ref_is_ancestor(
+                    tree, ancestor, descendant
+                ), f"{name}: is_ancestor({ancestor}, {descendant})"
+        for v in range(n):
+            expected = sum(
+                1 for x in range(n) if ref_is_ancestor(tree, v, x)
+            )
+            assert tree.subtree_size(v) == expected, f"{name}: subtree_size({v})"
+        for edge in graph.edges():
+            assert tree.edge_child(edge) == ref_edge_child(tree, edge), (
+                f"{name}: edge_child({edge})"
+            )
+            for target in range(n):
+                if tree.is_reachable(target):
+                    uses = edge in ref_path_edge_set(tree, target)
+                    expected = math.inf if uses else tree.dist[target]
+                else:
+                    expected = math.inf
+                assert tree.distance_avoiding(edge, target) == expected, (
+                    f"{name}: distance_avoiding({edge}, {target})"
+                )
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_bfs_many_trees_build_no_structural_cache(name):
+    """Trees that never issue structural queries must stay flat-array only."""
+    graph = GENERATORS[name](9)
+    n = graph.num_vertices
+    trees = bfs_many(graph, [0, n - 1])
+    for root, tree in trees.items():
+        assert not tree.has_structural_cache
+        # Distance-style queries (what oracle/center trees issue) stay lazy.
+        deepest = tree.order[-1]
+        path = tree.path_to(deepest)
+        tree.deepest_path_ancestor_indices(path)
+        assert tree.distance(deepest) == len(path) - 1
+        assert not tree.has_structural_cache
+        # The first structural query materialises the caches, once.
+        assert tree.is_ancestor(root, deepest)
+        assert tree.has_structural_cache
+        # children() hands back the cached tuple, no per-call allocation.
+        assert tree.children(root) is tree.children(root)
+
+
+# -- interned Dijkstra vs the dict-based reference ---------------------------
+
+
+def build_auxiliary_pair(graph, seed):
+    """The same randomly weighted auxiliary graph on both substrates."""
+    rng = random.Random(seed)
+    reference = AuxiliaryGraphBuilder()
+    interned = InternedAuxiliaryGraph()
+    arcs = {}
+    for u, v in graph.edges():
+        for a, b in ((u, v), (v, u)):
+            weight = float(rng.randrange(0, 5))
+            reference.add_edge(("v", a), ("v", b), weight)
+            interned.add_edge(("v", a), ("v", b), weight)
+            arcs.setdefault((("v", a), ("v", b)), set()).add(weight)
+    # Tuple-tagged auxiliary nodes hanging off random vertices, as the
+    # Section 7/8 graphs create them.
+    for i in range(6):
+        t = rng.randrange(graph.num_vertices)
+        weight = float(rng.randrange(1, 4))
+        reference.add_edge(("v", t), ("ve", t, i), weight)
+        interned.add_edge(("v", t), ("ve", t, i), weight)
+        arcs.setdefault((("v", t), ("ve", t, i)), set()).add(weight)
+    reference.add_node(("isolated",))
+    interned.add_node(("isolated",))
+    return reference, interned, arcs
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_interned_dijkstra_matches_reference(name):
+    for seed in (1, 2):
+        graph = GENERATORS[name](seed)
+        reference, interned, arcs = build_auxiliary_pair(graph, seed)
+        source = ("v", seed % graph.num_vertices)
+        ref_dist, ref_pred = dijkstra(
+            reference.adjacency(), source, with_predecessors=True
+        )
+        int_dist, int_pred = interned.dijkstra(source, with_predecessors=True)
+        assert int_dist.to_dict() == ref_dist, f"{name}/seed={seed}"
+        assert ("isolated",) not in int_dist
+        assert int_dist.get(("never", "seen")) is math.inf
+        # Predecessors may differ on ties, but every reconstructed path must
+        # be realisable arc-by-arc and distance-consistent.
+        for node, distance in ref_dist.items():
+            path = reconstruct_path(int_pred, source, node)
+            assert path, f"{name}: {node} reached but not reconstructible"
+            assert path[0] == source and path[-1] == node
+            for a, b in zip(path, path[1:]):
+                step = ref_dist[b] - ref_dist[a]
+                assert any(
+                    abs(step - w) < 1e-9 for w in arcs[(a, b)]
+                ), f"{name}: step {a}->{b} not realised by any arc weight"
+            assert ref_dist[node] == distance
+
+
+def test_interned_dijkstra_rejects_negative_weights_upfront():
+    interned = InternedAuxiliaryGraph()
+    interned.add_edge(("a",), ("b",), 1.0)
+    # The negative arc is unreachable from the source; the hoisted
+    # per-graph validation must reject it anyway.
+    interned.add_edge(("c",), ("d",), -2.0)
+    with pytest.raises(ValueError):
+        interned.dijkstra(("a",))
+
+
+def test_interned_views_tolerate_nodes_interned_after_the_run():
+    graph = InternedAuxiliaryGraph()
+    graph.add_edge("a", "b", 1.0)
+    dist, pred = graph.dijkstra("a", with_predecessors=True)
+    graph.intern("late")
+    # Views alias the live id dict but snapshot the run's arrays; late
+    # interned nodes must behave like unreached ones, never raise.
+    assert dist.get("late") is math.inf
+    assert "late" not in dist
+    assert "late" not in pred
+    assert pred.get("late") is None
+    with pytest.raises(KeyError):
+        dist["late"]
+
+
+def test_interned_raw_arc_appends_after_a_run_are_picked_up():
+    graph = InternedAuxiliaryGraph()
+    raw_src, raw_dst, raw_w = graph.arc_lists()  # saved before the run
+    graph.add_edge("a", "b", 1.0)
+    first, _ = graph.dijkstra("a")
+    assert first.get("b") == 1.0
+    z = graph.intern("z")
+    raw_src.append(graph.id_of("a"))
+    raw_dst.append(z)
+    raw_w.append(2.0)
+    # The raw appends bypassed arc_lists() invalidation; the stale-CSR
+    # guard must recompile instead of silently dropping the new arc.
+    dist, _ = graph.dijkstra("a")
+    assert dist.get("z") == 2.0
+
+
+def test_interned_builder_api_matches_reference_counts():
+    reference = AuxiliaryGraphBuilder()
+    interned = InternedAuxiliaryGraph()
+    for builder in (reference, interned):
+        builder.add_node("lonely")
+        builder.add_edge("x", "y", 1.0)
+        builder.add_edge("x", "z", 2.0)
+        builder.add_edge("y", "z", 3.0)
+    assert interned.num_nodes == reference.num_nodes == 4
+    assert interned.num_edges == reference.num_edges == 3
 
 
 @pytest.mark.slow
