@@ -4,9 +4,10 @@ This is the perf harness future PRs diff against: it runs the full
 :class:`~repro.core.msrp.MSRPSolver` pipeline on the same sparse workloads
 as ``bench_fig_scaling_n`` (``random_connected_graph`` with ``m ~ 3 n``,
 fixed seeds) and records, per configuration, the end-to-end wall time, the
-solver's per-phase ``phase_seconds`` and an output fingerprint (entry count
-plus a value checksum) so that a speedup can never silently come from
-computing something different.
+solver's per-phase ``phase_seconds``, the auxiliary strategy's
+``tables``/``walks``/``assembly`` sub-phase breakdown and an output
+fingerprint (entry count plus a value checksum) so that a speedup can never
+silently come from computing something different.
 
 Unlike the ``bench_fig_*`` modules this file is a plain script, not a
 pytest-benchmark suite, so CI can run it as a smoke job and commit-time
@@ -53,6 +54,21 @@ def run_key(n: int, sigma: int, strategy: str) -> str:
     return f"n={n},sigma={sigma},strategy={strategy}"
 
 
+def aux_breakdown(phase_seconds: Dict[str, float]) -> Dict[str, float]:
+    """The tables/walks sub-phase split of the auxiliary strategy.
+
+    ``tables`` is the time spent building the Section 8.1/8.2/8.3 auxiliary
+    tables, ``walks`` the Section 8.2.1 id-path walk enumeration and
+    ``assembly`` the per-edge path-cover minimisation; all zero under the
+    direct strategy (the solver never enters the Section 8 pipeline).
+    """
+    return {
+        "tables": phase_seconds.get("aux_tables", 0.0),
+        "walks": phase_seconds.get("aux_walks", 0.0),
+        "assembly": phase_seconds.get("aux_assembly", 0.0),
+    }
+
+
 def fingerprint(result) -> Dict[str, float]:
     """Cheap output invariant: entry count + checksum of the finite values."""
     entries = 0
@@ -93,6 +109,7 @@ def run_one(n: int, sigma: int, strategy: str, repeat: int) -> Dict:
                 "num_edges": graph.num_edges,
                 "wall_seconds": wall,
                 "phase_seconds": dict(solver.phase_seconds),
+                "aux_breakdown": aux_breakdown(solver.phase_seconds),
                 "fingerprint": fingerprint(result),
             }
     assert best is not None
@@ -114,6 +131,15 @@ def run_suite(
                 )
             )
             print(f"{run['key']}: {run['wall_seconds']:.3f}s  ({phases})")
+            breakdown = run["aux_breakdown"]
+            if any(breakdown.values()):
+                print(
+                    "  aux breakdown: "
+                    + ", ".join(
+                        f"{name}={seconds:.3f}s"
+                        for name, seconds in breakdown.items()
+                    )
+                )
     return runs
 
 

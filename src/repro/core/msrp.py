@@ -151,6 +151,7 @@ class MSRPSolver:
             landmarks=self.landmarks,
             landmark_trees=self.landmark_trees,
             rng=rng,
+            phase_seconds=self.phase_seconds,
         )
 
     def solve(self) -> ReplacementPathResult:

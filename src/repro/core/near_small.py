@@ -28,6 +28,17 @@ sound), so the value is always a valid upper bound.
 The optional predecessor tracking reconstructs the corresponding walk in the
 original graph; Section 8.2.1 needs those explicit walks to decide whether a
 small replacement path passes through a given center.
+
+Walk reconstruction runs on flat integer *id-paths*: the Dijkstra
+predecessors are kept as the dense-id array the interned substrate already
+produced (``pred[i]`` is the id of the predecessor of auxiliary node ``i``,
+``-1`` when none), so climbing from a ``[t, e]`` node to the source is pure
+integer reads — no tuple node is materialised per hop.  Only at the end of
+the climb is each id on the path decoded once through the intern table
+(``id -> original tuple node``) to emit the corresponding vertices of ``G``:
+a ``[v]`` node expands to the canonical ``s``-``v`` tree path, a ``[t, e]``
+node contributes its target vertex.  :meth:`NearSmallTables.walk_reference`
+keeps the historical tuple-node reconstruction as the equivalence oracle.
 """
 
 from __future__ import annotations
@@ -39,7 +50,11 @@ from repro.core.params import ProblemScale
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
-from repro.rp.dijkstra import InternedAuxiliaryGraph, reconstruct_path
+from repro.rp.dijkstra import (
+    InternedAuxiliaryGraph,
+    InternedPredecessors,
+    reconstruct_path,
+)
 
 #: auxiliary-graph node tags
 _SRC = ("src",)
@@ -86,21 +101,37 @@ class NearSmallTables:
     no ``[s] -> [t, e]`` path).  When built with ``with_paths=True`` the
     corresponding walk in the original graph can be reconstructed, which the
     Section 8.2.1 enumeration requires.
+
+    Path state (``with_paths=True`` only) is flat: ``predecessors`` is the
+    interned Dijkstra's mapping view (its raw dense-id ``pred`` array and
+    intern table back the id-path climb), ``ve_ids`` maps ``(t, e)`` to the
+    dense id of the ``[t, e]`` node, and ``src_id`` is the id of ``[s]``.
     """
 
-    __slots__ = ("source", "_values", "_predecessors", "_tree")
+    __slots__ = (
+        "source",
+        "_values",
+        "_predecessors",
+        "_tree",
+        "_ve_ids",
+        "_src_id",
+    )
 
     def __init__(
         self,
         source: int,
         values: Dict[Tuple[int, Edge], float],
-        predecessors: Optional[Dict] = None,
+        predecessors: Optional[InternedPredecessors] = None,
         tree: Optional[ShortestPathTree] = None,
+        ve_ids: Optional[Dict[Tuple[int, Edge], int]] = None,
+        src_id: int = 0,
     ):
         self.source = source
         self._values = values
         self._predecessors = predecessors
         self._tree = tree
+        self._ve_ids = ve_ids
+        self._src_id = src_id
 
     def value(self, target: int, edge: Sequence[int]) -> float:
         """Return ``w[t, e]`` (``math.inf`` when not reachable in ``G_s``)."""
@@ -116,14 +147,67 @@ class NearSmallTables:
         return self._values.get((target, edge), math.inf)
 
     def known_pairs(self) -> List[Tuple[int, Edge]]:
-        """All ``(target, edge)`` pairs with a finite value."""
-        return [key for key, val in self._values.items() if val is not math.inf]
+        """All ``(target, edge)`` pairs with a finite value.
+
+        Filters with :func:`math.isinf` rather than identity against the
+        ``math.inf`` singleton: an infinity produced by arithmetic (e.g.
+        ``math.inf + 1`` or ``float("inf")``) is a *different* float object,
+        and an identity test would silently treat it as finite.
+        """
+        return [key for key, val in self._values.items() if not math.isinf(val)]
 
     def walk(self, target: int, edge: Sequence[int]) -> List[int]:
         """Reconstruct the walk in ``G`` realising ``w[t, e]``.
 
         Only available when the tables were built with ``with_paths=True``.
         Returns an empty list when ``[t, e]`` is unreachable in ``G_s``.
+
+        The reconstruction is the flat id-path climb described in the
+        module docstring: predecessor ids are followed root-wards as plain
+        integers, and each id on the path is decoded through the intern
+        table exactly once, in walk order — no tuple node per hop.
+        """
+        predecessors = self._predecessors
+        if predecessors is None or self._tree is None:
+            raise InvalidParameterError(
+                "NearSmallTables was built without path reconstruction support"
+            )
+        e = normalize_edge(int(edge[0]), int(edge[1]))
+        node_id = self._ve_ids.get((target, e)) if self._ve_ids else None
+        if node_id is None:
+            return []
+        pred = predecessors.pred_ids()
+        src_id = self._src_id
+        # Climb the dense-id predecessor array: integers only.
+        id_path: List[int] = []
+        i = node_id
+        while i != src_id:
+            p = pred[i]
+            if p < 0:
+                return []  # [t, e] unreached by the auxiliary Dijkstra
+            id_path.append(i)
+            i = p
+        # Decode the ids through the intern table, source-to-target.
+        nodes = predecessors.nodes()
+        walk: List[int] = []
+        extend = walk.extend
+        path_to = self._tree.path_to
+        for i in reversed(id_path):
+            node = nodes[i]
+            if node[0] == "v":
+                # The [s] -> [v] hop stands for the canonical s-v tree path.
+                extend(path_to(node[1]))
+            else:  # "ve" node contributes its target vertex
+                walk.append(node[1])
+        return walk
+
+    def walk_reference(self, target: int, edge: Sequence[int]) -> List[int]:
+        """Tuple-node reference reconstruction of :meth:`walk`.
+
+        The historical implementation: rebuild the auxiliary path as tuple
+        nodes via :func:`reconstruct_path` (one tuple translation per hop)
+        and expand it.  Kept as the equivalence oracle the property battery
+        pins the id-path :meth:`walk` against.
         """
         if self._predecessors is None or self._tree is None:
             raise InvalidParameterError(
@@ -229,4 +313,6 @@ def compute_near_small_tables(
         values,
         predecessors=predecessors if with_paths else None,
         tree=tree if with_paths else None,
+        ve_ids=ve_ids if with_paths else None,
+        src_id=src_id,
     )

@@ -5,6 +5,7 @@ paths in ``O~(m sqrt(n sigma) + sigma n^2)``."""
 from repro.multisource.bottleneck import (
     MTCEvaluator,
     compute_interval_avoiding_tables,
+    compute_interval_avoiding_tables_reference,
     find_bottleneck_edges,
 )
 from repro.multisource.centers import CenterHierarchy
@@ -17,8 +18,10 @@ from repro.multisource.intervals import (
 from repro.multisource.pipeline import compute_auxiliary_tables
 from repro.multisource.tables import (
     compute_center_to_landmark_tables,
+    compute_center_to_landmark_tables_reference,
     compute_small_paths_through_centers,
     compute_source_to_center_tables,
+    compute_source_to_center_tables_reference,
 )
 
 __all__ = [
@@ -28,10 +31,13 @@ __all__ = [
     "decompose_path",
     "interval_for_edge",
     "compute_source_to_center_tables",
+    "compute_source_to_center_tables_reference",
     "compute_center_to_landmark_tables",
+    "compute_center_to_landmark_tables_reference",
     "compute_small_paths_through_centers",
     "MTCEvaluator",
     "find_bottleneck_edges",
     "compute_interval_avoiding_tables",
+    "compute_interval_avoiding_tables_reference",
     "compute_auxiliary_tables",
 ]

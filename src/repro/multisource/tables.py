@@ -36,7 +36,7 @@ from repro.core.params import ProblemScale
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
 from repro.multisource.centers import CenterHierarchy
-from repro.rp.dijkstra import InternedAuxiliaryGraph
+from repro.rp.dijkstra import AuxiliaryGraphBuilder, InternedAuxiliaryGraph, dijkstra
 
 #: (endpoint, failed edge) -> replacement length
 PairEdgeTable = Dict[Tuple[int, Edge], float]
@@ -92,6 +92,12 @@ def compute_source_to_center_tables(
     ``source``-``center`` path avoiding ``edge`` for every center ``c`` and
     every edge among the first ``interval_edge_budget(priority(c))`` edges
     of the canonical ``c``-``source`` path.
+
+    The quadratic ``[c'] -> [c, e]`` loop runs on the same dense
+    distinct-edge Euler-bound tables as
+    :func:`compute_center_to_landmark_tables`; the per-query tree-predicate
+    form survives as :func:`compute_source_to_center_tables_reference`, the
+    oracle the differential fuzz battery pins this builder against.
     """
     aux = InternedAuxiliaryGraph()
     src_node = ("s",)
@@ -109,66 +115,135 @@ def compute_source_to_center_tables(
         budget = scale.interval_edge_budget(centers.priority_of(center))
         node_edges[center] = _edges_towards_root(source_tree, center, budget)
 
-    c_ids = {center: aux.intern(("c", center)) for center in reachable_centers}
     ce_ids: Dict[Tuple[int, Edge], int] = {
         (center, e): aux.intern(("ce", center, e))
         for center, edges in node_edges.items()
         for e in edges
     }
-    # Per-center edge -> node id maps, resolved once for the hot loop.
-    edge_ids: Dict[int, Dict[Edge, int]] = {
-        center: {e: ce_ids[(center, e)] for e in edges}
-        for center, edges in node_edges.items()
-    }
 
-    # [s] -> [c]  (weight |sc|) and [s] -> [c, e] (small replacement paths).
-    add_arc = aux.add_arc
-    source_dist = source_tree.dist
-    for center in reachable_centers:
-        add_arc(src_id, c_ids[center], float(source_dist[center]))
-        for e in node_edges[center]:
-            small_value = near_small.value(center, e)
-            if small_value is not math.inf:
-                add_arc(src_id, ce_ids[(center, e)], small_value)
-
-    # [c'] -> [c, e] and [c', e] -> [c, e].  Iterating c' outermost binds
-    # each center tree's edge map and Euler intervals once; the two "does
-    # the canonical path use e" guards are then pure array reads, and arcs
-    # go straight into the interned graph's parallel lists.
+    # Dense index over the *distinct* budgeted edges (paths towards the root
+    # share suffixes, so the same edge appears for many centers).  Every
+    # budgeted edge is a tree edge of the source tree, so its subtree
+    # interval — the "canonical source path to x uses e" test — is resolved
+    # here once; centers whose budget contains the same edge are collected
+    # per distinct edge (``sharers``) for the ``[c', e]`` arc family.
     s_tec_get = source_tree.edge_child_map().get
     s_tin, s_tout = source_tree.euler_intervals()
-    arc_src, arc_dst, arc_w = aux.arc_lists()
-    src_app, dst_app, w_app = arc_src.append, arc_dst.append, arc_w.append
+    e_index: Dict[Edge, int] = {}
+    distinct_edges: List[Edge] = []
+    s_bounds: List[Tuple[int, int]] = []
+    sharers: List[List[Tuple[int, int]]] = []
+    edge_entries: Dict[int, List[Tuple[int, int]]] = {}
+    for center, edges in node_edges.items():
+        entries = []
+        for e in edges:
+            idx = e_index.get(e)
+            if idx is None:
+                idx = len(distinct_edges)
+                e_index[e] = idx
+                distinct_edges.append(e)
+                child = s_tec_get(e)
+                s_bounds.append((s_tin[child], s_tout[child]))
+                sharers.append([])
+            node_id = ce_ids[(center, e)]
+            entries.append((idx, node_id))
+            sharers[idx].append((center, node_id))
+        edge_entries[center] = entries
+    num_distinct = len(distinct_edges)
+
+    # ``best[id]`` folds every ``[s] -> [c, e]`` contribution — the small
+    # replacement paths and the whole ``via [c']`` family — into a running
+    # minimum, exactly as in :func:`compute_center_to_landmark_tables`: the
+    # ``[c']`` layer's Dijkstra distance is ``|s c'|`` up front, so one seed
+    # arc per ``[c, e]`` node yields identical distances with the dominant
+    # arc family folded away.
+    inf = math.inf
+    best: List[float] = [inf] * aux.num_nodes
+    source_dist = source_tree.dist
+    for center in reachable_centers:
+        for e in node_edges[center]:
+            small_value = near_small.value(center, e)
+            if small_value != inf:
+                node_id = ce_ids[(center, e)]
+                if small_value < best[node_id]:
+                    best[node_id] = small_value
+
+    # The via-[c'] fold: per c' the distinct edges resolve against c''s
+    # tree once, with "e lies on the canonical s-c' path" merged in as an
+    # everything-covers interval — one containment test per (c', c, e).
+    max_tin = 2 * len(source_tree.parent)
     for other in reachable_centers:
         other_tree = center_trees[other]
         o_dist = other_tree.dist
         o_tec_get = other_tree.edge_child_map().get
         o_tin, o_tout = other_tree.euler_intervals()
-        other_c_id = c_ids[other]
         s_t_other = s_tin[other]
-        oe_map_get = edge_ids[other].get
+        cand_base = float(source_dist[other])
+        o_lo = [1] * num_distinct
+        o_hi = [0] * num_distinct
+        for e, idx in e_index.items():
+            lo, hi = s_bounds[idx]
+            if lo <= s_t_other <= hi:
+                o_lo[idx] = -1
+                o_hi[idx] = max_tin
+                continue
+            child = o_tec_get(e)
+            if child is not None:
+                o_lo[idx] = o_tin[child]
+                o_hi[idx] = o_tout[child]
         for center in reachable_centers:
             hop = o_dist[center]
             if hop is math.inf:
                 continue
-            hop = float(hop)
+            cand = cand_base + hop
             o_t_center = o_tin[center]
-            for e, target_id in edge_ids[center].items():
-                # other_tree.tree_path_uses_edge(e, center)
-                child = o_tec_get(e)
-                if child is not None and o_tin[child] <= o_t_center <= o_tout[child]:
+            for idx, target_id in edge_entries[center]:
+                if o_lo[idx] <= o_t_center <= o_hi[idx]:
                     continue
-                # source_tree.tree_path_uses_edge(e, other)
-                child = s_tec_get(e)
-                if child is None or not (s_tin[child] <= s_t_other <= s_tout[child]):
-                    src_app(other_c_id)
-                    dst_app(target_id)
-                    w_app(hop)
-                other_ce_id = oe_map_get(e)
-                if other_ce_id is not None:
-                    src_app(other_ce_id)
-                    dst_app(target_id)
-                    w_app(hop)
+                if cand < best[target_id]:
+                    best[target_id] = cand
+    add_arc = aux.add_arc
+    for node_id, value in enumerate(best):
+        if value != inf:
+            add_arc(src_id, node_id, value)
+
+    # [c', e] -> [c, e] arcs survive as real auxiliary arcs; only centers
+    # sharing the budgeted edge qualify.  Same shape as the landmark case:
+    # arc-source center outermost, dense interval guard, buffered flush.
+    b_src: List[int] = []
+    b_dst: List[int] = []
+    b_w: List[float] = []
+    src_app, dst_app, w_app = b_src.append, b_dst.append, b_w.append
+    for c1 in reachable_centers:
+        c1_tree = center_trees[c1]
+        c1_dist = c1_tree.dist
+        c1_tec_get = c1_tree.edge_child_map().get
+        c1_tin, c1_tout = c1_tree.euler_intervals()
+        for idx, id1 in edge_entries[c1]:
+            edge_sharers = sharers[idx]
+            if len(edge_sharers) < 2:
+                continue
+            child = c1_tec_get(distinct_edges[idx])
+            if child is None:
+                lo, hi = 1, 0
+            else:
+                lo, hi = c1_tin[child], c1_tout[child]
+            for c2, id2 in edge_sharers:
+                if c1 == c2:
+                    continue
+                hop = c1_dist[c2]
+                if hop is math.inf:
+                    continue
+                # c1_tree.tree_path_uses_edge(e, c2)
+                if lo <= c1_tin[c2] <= hi:
+                    continue
+                src_app(id1)
+                dst_app(id2)
+                w_app(float(hop))
+    arc_src, arc_dst, arc_w = aux.arc_lists()
+    arc_src.extend(b_src)
+    arc_dst.extend(b_dst)
+    arc_w.extend(b_w)
 
     distances, _ = aux.dijkstra(src_node)
 
@@ -176,6 +251,68 @@ def compute_source_to_center_tables(
     by_id = distances.by_id
     for key, node_id in ce_ids.items():
         table[key] = by_id(node_id, math.inf)
+    return table
+
+
+def compute_source_to_center_tables_reference(
+    graph: Graph,
+    source: int,
+    source_tree: ShortestPathTree,
+    centers: CenterHierarchy,
+    center_trees: Mapping[int, ShortestPathTree],
+    scale: ProblemScale,
+    near_small: NearSmallTables,
+) -> PairEdgeTable:
+    """Pre-dense reference for :func:`compute_source_to_center_tables`.
+
+    Builds the same Section 8.1 auxiliary graph through the dict-based
+    :class:`AuxiliaryGraphBuilder` with one :meth:`tree_path_uses_edge`
+    tree-predicate call per query — the readable form that defines the
+    semantics.  The differential fuzz battery asserts the dense builder
+    produces an identical table on every instance.
+    """
+    builder = AuxiliaryGraphBuilder()
+    src_node = ("s",)
+    builder.add_node(src_node)
+
+    reachable_centers: List[int] = []
+    node_edges: Dict[int, List[Edge]] = {}
+    for center in sorted(centers.all):
+        if not source_tree.is_reachable(center):
+            continue
+        reachable_centers.append(center)
+        budget = scale.interval_edge_budget(centers.priority_of(center))
+        node_edges[center] = _edges_towards_root(source_tree, center, budget)
+
+    for center in reachable_centers:
+        builder.add_edge(
+            src_node, ("c", center), float(source_tree.dist[center])
+        )
+        for e in node_edges[center]:
+            small_value = near_small.value(center, e)
+            if small_value != math.inf:
+                builder.add_edge(src_node, ("ce", center, e), small_value)
+
+    for other in reachable_centers:
+        other_tree = center_trees[other]
+        other_edge_set = set(node_edges[other])
+        for center in reachable_centers:
+            if not other_tree.is_reachable(center):
+                continue
+            hop = float(other_tree.dist[center])
+            for e in node_edges[center]:
+                if other_tree.tree_path_uses_edge(e, center):
+                    continue
+                if not source_tree.tree_path_uses_edge(e, other):
+                    builder.add_edge(("c", other), ("ce", center, e), hop)
+                if e in other_edge_set:
+                    builder.add_edge(("ce", other, e), ("ce", center, e), hop)
+
+    dist, _ = dijkstra(builder.adjacency(), src_node)
+    table: PairEdgeTable = {}
+    for center, edges in node_edges.items():
+        for e in edges:
+            table[(center, e)] = dist.get(("ce", center, e), math.inf)
     return table
 
 
@@ -262,7 +399,6 @@ def compute_center_to_landmark_tables(
         reachable_landmarks.append(landmark)
         node_edges[landmark] = _first_edges_from_root(center_tree, landmark, budget)
 
-    r_ids = {landmark: aux.intern(("r", landmark)) for landmark in reachable_landmarks}
     re_ids: Dict[Tuple[int, Edge], int] = {
         (landmark, e): aux.intern(("re", landmark, e))
         for landmark, edges in node_edges.items()
@@ -273,86 +409,143 @@ def compute_center_to_landmark_tables(
     # prefixes, so the same edge appears for many landmarks).  Every
     # budgeted edge is a tree edge of the center tree, so its subtree
     # interval — the "canonical center path to x uses e" test — is resolved
-    # here once and becomes two integer compares in the hot loop.
+    # here once and becomes two integer compares in the hot loop.  Landmarks
+    # whose budget contains the same edge are collected per distinct edge
+    # (``sharers``): they are exactly the candidates for ``[r', e]`` arcs.
     c_tec_get = center_tree.edge_child_map().get
     c_tin, c_tout = center_tree.euler_intervals()
     e_index: Dict[Edge, int] = {}
-    c_lo: List[int] = []
-    c_hi: List[int] = []
+    distinct_edges: List[Edge] = []
+    c_bounds: List[Tuple[int, int]] = []
+    sharers: List[List[Tuple[int, int]]] = []
     edge_entries: Dict[int, List[Tuple[int, int]]] = {}
     for landmark, edges in node_edges.items():
         entries = []
         for e in edges:
             idx = e_index.get(e)
             if idx is None:
-                idx = len(c_lo)
+                idx = len(distinct_edges)
                 e_index[e] = idx
+                distinct_edges.append(e)
                 child = c_tec_get(e)
-                c_lo.append(c_tin[child])
-                c_hi.append(c_tout[child])
-            entries.append((idx, re_ids[(landmark, e)]))
+                c_bounds.append((c_tin[child], c_tout[child]))
+                sharers.append([])
+            node_id = re_ids[(landmark, e)]
+            entries.append((idx, node_id))
+            sharers[idx].append((landmark, node_id))
         edge_entries[landmark] = entries
-    num_distinct = len(c_lo)
+    num_distinct = len(distinct_edges)
 
-    # [c] -> [r] and [c] -> [r, e] (small paths through the center).
-    add_arc = aux.add_arc
+    # ``best[id]`` folds every ``[c] -> [r, e]`` contribution — the small
+    # paths through the center and the whole ``via [r']`` family — into a
+    # running minimum.  The ``[r']`` layer of the reference graph has
+    # exactly one incoming arc ``[c] -> [r']`` of weight ``|c r'|``, so its
+    # Dijkstra distance is known up front and relaxing ``[r'] -> [r, e]``
+    # can only ever produce ``|c r'| + |r' r|``; taking the minimum here and
+    # emitting one seed arc per ``[r, e]`` node yields *identical* distances
+    # while shrinking the auxiliary graph by its dominant arc family (the
+    # differential fuzz battery pins this against the reference builder).
+    inf = math.inf
+    best: List[float] = [inf] * aux.num_nodes
     center_dist = center_tree.dist
     for landmark in reachable_landmarks:
-        add_arc(src_id, r_ids[landmark], float(center_dist[landmark]))
         for e in node_edges[landmark]:
-            small_value = small_through.get((landmark, e), math.inf)
-            if small_value is not math.inf:
-                add_arc(src_id, re_ids[(landmark, e)], small_value)
+            small_value = small_through.get((landmark, e), inf)
+            if small_value != inf:
+                node_id = re_ids[(landmark, e)]
+                if small_value < best[node_id]:
+                    best[node_id] = small_value
 
-    # [r'] -> [r, e] and [r', e] -> [r, e].  This triple loop dominates the
-    # whole Section 8 construction (|L|^2 x budget iterations), so the body
-    # is pure array reads: per r' the distinct edges are resolved against
-    # r''s tree once into interval arrays (empty interval = not a tree edge
-    # of r'), and arcs go straight into the interned graph's parallel lists
-    # via bound appends.
-    arc_src, arc_dst, arc_w = aux.arc_lists()
-    src_app, dst_app, w_app = arc_src.append, arc_dst.append, arc_w.append
+    # The via-[r'] fold.  This |L|^2 x budget loop dominates the whole
+    # Section 8 construction, so the body is two dense reads and a compare:
+    # per r' the distinct edges are resolved against r''s tree once into
+    # interval arrays, and "e lies on the canonical c-r' path" (which bars
+    # the [r'] term) is merged into the same arrays as an everything-covers
+    # interval, leaving a single containment test per (r', r, e).
+    # Euler timestamps span [0, 2n); anything >= 2n upper-bounds every tin.
+    max_tin = 2 * len(center_tree.parent)
     for other in reachable_landmarks:
         other_tree = landmark_trees[other]
         o_dist = other_tree.dist
         o_tec_get = other_tree.edge_child_map().get
         o_tin, o_tout = other_tree.euler_intervals()
-        other_r_id = r_ids[other]
         c_t_other = c_tin[other]
-        # Subtree interval of every distinct edge in r''s tree ((1, 0) —
-        # empty — when e is not a tree edge there, so the containment test
-        # below needs no None branch).
+        cand_base = float(center_dist[other])
+        # Per distinct edge: the subtree interval in r''s tree ((1, 0) —
+        # empty — when e is not a tree edge there), widened to cover every
+        # tin when e lies on the canonical c-r' path.
         o_lo = [1] * num_distinct
         o_hi = [0] * num_distinct
         for e, idx in e_index.items():
+            lo, hi = c_bounds[idx]
+            if lo <= c_t_other <= hi:
+                o_lo[idx] = -1
+                o_hi[idx] = max_tin
+                continue
             child = o_tec_get(e)
             if child is not None:
                 o_lo[idx] = o_tin[child]
                 o_hi[idx] = o_tout[child]
-        # [r', e] node id per distinct edge (None when r' has no such node).
-        oe_by_idx: List[Optional[int]] = [None] * num_distinct
-        for idx, node_id in edge_entries[other]:
-            oe_by_idx[idx] = node_id
         for landmark in reachable_landmarks:
             hop = o_dist[landmark]
             if hop is math.inf:
                 continue
-            hop = float(hop)
+            cand = cand_base + hop
             o_t_landmark = o_tin[landmark]
             for idx, target_id in edge_entries[landmark]:
-                # other_tree.tree_path_uses_edge(e, landmark)
+                # other_tree.tree_path_uses_edge(e, landmark), or e on the
+                # canonical c-r' path (widened interval)
                 if o_lo[idx] <= o_t_landmark <= o_hi[idx]:
                     continue
-                # center_tree.tree_path_uses_edge(e, other)
-                if not (c_lo[idx] <= c_t_other <= c_hi[idx]):
-                    src_app(other_r_id)
-                    dst_app(target_id)
-                    w_app(hop)
-                other_re_id = oe_by_idx[idx]
-                if other_re_id is not None:
-                    src_app(other_re_id)
-                    dst_app(target_id)
-                    w_app(hop)
+                if cand < best[target_id]:
+                    best[target_id] = cand
+    add_arc = aux.add_arc
+    for node_id, value in enumerate(best):
+        if value != inf:
+            add_arc(src_id, node_id, value)
+
+    # [r', e] -> [r, e] arcs survive as real auxiliary arcs (their sources
+    # have genuinely recursive Dijkstra distances).  Only landmarks sharing
+    # the same budgeted edge can be linked; canonical paths share prefixes,
+    # so near-center edges are shared by many landmarks and this family is
+    # still sizeable.  Iterating the arc-source landmark r' outermost (its
+    # shared edges are exactly its own entries) resolves each edge against
+    # r''s tree once, the guard is a dense interval test, and the arcs flush
+    # into the typed arrays through one C-level extend per array.
+    b_src: List[int] = []
+    b_dst: List[int] = []
+    b_w: List[float] = []
+    src_app, dst_app, w_app = b_src.append, b_dst.append, b_w.append
+    for r1 in reachable_landmarks:
+        r1_tree = landmark_trees[r1]
+        r1_dist = r1_tree.dist
+        r1_tec_get = r1_tree.edge_child_map().get
+        r1_tin, r1_tout = r1_tree.euler_intervals()
+        for idx, id1 in edge_entries[r1]:
+            edge_sharers = sharers[idx]
+            if len(edge_sharers) < 2:
+                continue
+            child = r1_tec_get(distinct_edges[idx])
+            if child is None:
+                lo, hi = 1, 0
+            else:
+                lo, hi = r1_tin[child], r1_tout[child]
+            for r2, id2 in edge_sharers:
+                if r1 == r2:
+                    continue
+                hop = r1_dist[r2]
+                if hop is math.inf:
+                    continue
+                # r1_tree.tree_path_uses_edge(e, r2)
+                if lo <= r1_tin[r2] <= hi:
+                    continue
+                src_app(id1)
+                dst_app(id2)
+                w_app(float(hop))
+    arc_src, arc_dst, arc_w = aux.arc_lists()
+    arc_src.extend(b_src)
+    arc_dst.extend(b_dst)
+    arc_w.extend(b_w)
 
     distances, _ = aux.dijkstra(src_node)
 
@@ -360,4 +553,68 @@ def compute_center_to_landmark_tables(
     by_id = distances.by_id
     for key, node_id in re_ids.items():
         table[key] = by_id(node_id, math.inf)
+    return table
+
+
+def compute_center_to_landmark_tables_reference(
+    center: int,
+    center_tree: ShortestPathTree,
+    priority: int,
+    landmarks: Iterable[int],
+    landmark_trees: Mapping[int, ShortestPathTree],
+    scale: ProblemScale,
+    small_through: Optional[Mapping[Tuple[int, Edge], float]] = None,
+) -> PairEdgeTable:
+    """Pre-dense reference for :func:`compute_center_to_landmark_tables`.
+
+    Materialises the full Section 8.2 auxiliary graph — explicit ``[r]``
+    nodes and all four arc families — on the dict-based
+    :class:`AuxiliaryGraphBuilder` with per-query tree predicates.  The
+    differential fuzz battery asserts the folded dense builder produces an
+    identical table on every instance.
+    """
+    small_through = small_through or {}
+    budget = scale.interval_edge_budget(priority)
+
+    builder = AuxiliaryGraphBuilder()
+    src_node = ("c",)
+    builder.add_node(src_node)
+
+    reachable_landmarks: List[int] = []
+    node_edges: Dict[int, List[Edge]] = {}
+    for landmark in sorted(set(int(r) for r in landmarks)):
+        if not center_tree.is_reachable(landmark) or landmark == center:
+            continue
+        reachable_landmarks.append(landmark)
+        node_edges[landmark] = _first_edges_from_root(center_tree, landmark, budget)
+
+    for landmark in reachable_landmarks:
+        builder.add_edge(
+            src_node, ("r", landmark), float(center_tree.dist[landmark])
+        )
+        for e in node_edges[landmark]:
+            small_value = small_through.get((landmark, e), math.inf)
+            if small_value != math.inf:
+                builder.add_edge(src_node, ("re", landmark, e), small_value)
+
+    for other in reachable_landmarks:
+        other_tree = landmark_trees[other]
+        other_edge_set = set(node_edges[other])
+        for landmark in reachable_landmarks:
+            if not other_tree.is_reachable(landmark):
+                continue
+            hop = float(other_tree.dist[landmark])
+            for e in node_edges[landmark]:
+                if other_tree.tree_path_uses_edge(e, landmark):
+                    continue
+                if not center_tree.tree_path_uses_edge(e, other):
+                    builder.add_edge(("r", other), ("re", landmark, e), hop)
+                if e in other_edge_set:
+                    builder.add_edge(("re", other, e), ("re", landmark, e), hop)
+
+    dist, _ = dijkstra(builder.adjacency(), src_node)
+    table: PairEdgeTable = {}
+    for landmark, edges in node_edges.items():
+        for e in edges:
+            table[(landmark, e)] = dist.get(("re", landmark, e), math.inf)
     return table

@@ -3,8 +3,9 @@ and the Dijkstra substrates used by the auxiliary-graph constructions.
 
 Two Dijkstra substrates are exported: the dict-based reference pair
 (:class:`AuxiliaryGraphBuilder` + :func:`dijkstra`) that defines the
-semantics, and the flat-array :class:`InternedAuxiliaryGraph` the hot paths
-run on (dense integer node ids, CSR arcs, ``(float, int)`` heap entries).
+semantics, and the typed-array :class:`InternedAuxiliaryGraph` the hot paths
+run on (dense integer node ids, ``array('i')``/``array('d')`` CSR arcs,
+``(float, int)`` heap entries).
 """
 
 from repro.rp.bruteforce import (

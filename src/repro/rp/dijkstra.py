@@ -10,12 +10,16 @@ Dijkstra from a designated source node.  Two substrates implement this:
   deliberately simple, and remains the equivalence oracle for tests.
 * the **interned** :class:`InternedAuxiliaryGraph` is the hot-path form:
   every tuple node is assigned a dense integer id the moment it first
-  appears (``intern`` / ``add_edge``), arcs are stored in flat parallel
-  lists compiled to a CSR layout on the first Dijkstra run, and the heap
-  loop works exclusively on ``(float, int)`` pairs with array-indexed
-  ``dist`` / ``settled`` state — no tuple hashing anywhere inside the loop.
-  Builders that already hold the integer ids call ``add_arc`` and skip the
-  interning dictionary entirely.
+  appears (``intern`` / ``add_edge``), arcs are stored in typed parallel
+  arrays — ``array('i')`` heads/tails, ``array('d')`` weights — compiled to
+  a typed-array CSR layout (``offsets`` / ``targets`` / ``weights``) on the
+  first Dijkstra run, and the heap loop works exclusively on
+  ``(float, int)`` pairs with array-indexed ``dist`` / ``settled`` state —
+  no tuple hashing anywhere inside the loop.  Builders that already hold
+  the integer ids call ``add_arc`` and skip the interning dictionary
+  entirely.  The typed arrays keep the arc storage at C struct density
+  (4/4/8 bytes per arc instead of three PyObject pointers) and hand a
+  native backend a zero-conversion view via ``compiled_csr()``.
 
 Laziness / validation contract
 ------------------------------
@@ -39,6 +43,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from array import array
 from collections import Counter
 from typing import (
     Dict,
@@ -266,6 +271,21 @@ class InternedPredecessors:
             return default
         return self._nodes[self._pred[i]]
 
+    def pred_ids(self) -> List[int]:
+        """The raw predecessor array (``pred_ids()[i]`` is the dense id of
+        the predecessor of node ``i``, ``-1`` when none was recorded).
+
+        This is the flat substrate behind the mapping view: id-path walkers
+        (:meth:`repro.core.near_small.NearSmallTables.walk`) climb it
+        directly and translate ids through :meth:`nodes` only once, at
+        reconstruction time.
+        """
+        return self._pred
+
+    def nodes(self) -> List[Node]:
+        """The dense-id ``->`` original node intern table (no copy)."""
+        return self._nodes
+
     def to_dict(self) -> Dict[Node, Node]:
         """Materialise the reference-shaped predecessor dict (tests)."""
         return {
@@ -276,7 +296,7 @@ class InternedPredecessors:
 
 
 class InternedAuxiliaryGraph:
-    """Auxiliary graph with dense integer node ids and flat CSR arcs.
+    """Auxiliary graph with dense integer node ids and typed-array CSR arcs.
 
     Drop-in replacement for :class:`AuxiliaryGraphBuilder` +
     :func:`dijkstra`: the same ``add_node`` / ``add_edge`` surface accepts
@@ -302,12 +322,12 @@ class InternedAuxiliaryGraph:
     def __init__(self) -> None:
         self._ids: Dict[Node, int] = {}
         self._nodes: List[Node] = []
-        self._arc_src: List[int] = []
-        self._arc_dst: List[int] = []
-        self._arc_w: List[float] = []
-        self._csr_offsets: Optional[List[int]] = None
-        self._csr_dst: Optional[List[int]] = None
-        self._csr_w: Optional[List[float]] = None
+        self._arc_src: array = array("i")
+        self._arc_dst: array = array("i")
+        self._arc_w: array = array("d")
+        self._csr_offsets: Optional[array] = None
+        self._csr_dst: Optional[array] = None
+        self._csr_w: Optional[array] = None
 
     # -- construction --------------------------------------------------------
 
@@ -336,14 +356,16 @@ class InternedAuxiliaryGraph:
         """Add the directed edge ``u -> v``, interning both endpoints."""
         self.add_arc(self.intern(u), self.intern(v), weight)
 
-    def arc_lists(self) -> Tuple[List[int], List[int], List[float]]:
-        """The raw parallel ``(src, dst, weight)`` arc lists, for bulk appends.
+    def arc_lists(self) -> Tuple[array, array, array]:
+        """The raw parallel ``(src, dst, weight)`` arc arrays, for bulk appends.
 
         The tightest builder loops (the ``|L|^2 x budget`` Section 8 ones)
         bind the three ``append`` methods directly instead of paying a
-        method call per arc.  Appends must keep the lists parallel; the
-        compiled CSR cache is invalidated here, so call this *before*
-        appending (our builders fetch the lists once, up front).
+        method call per arc.  The arrays are typed (``'i'``/``'i'``/``'d'``),
+        so each append stores a C int / double, not a PyObject pointer.
+        Appends must keep the arrays parallel; the compiled CSR cache is
+        invalidated here, so call this *before* appending (our builders
+        fetch the arrays once, up front).
         """
         self._csr_offsets = None
         return self._arc_src, self._arc_dst, self._arc_w
@@ -368,42 +390,70 @@ class InternedAuxiliaryGraph:
 
     # -- the interned Dijkstra ----------------------------------------------
 
-    def _compile(self) -> Tuple[List[int], List[int], List[float]]:
-        """Bucket the arc lists into CSR rows; validate weights once.
+    def _compile(self) -> Tuple[array, array, array]:
+        """Bucket the arc arrays into typed-array CSR rows; validate weights once.
 
         Runs once per (graph, mutation) — the auxiliary graphs are built
-        fully and then solved, so in practice once per graph.
+        fully and then solved, so in practice once per graph.  The compiled
+        ``offsets`` / ``targets`` / ``weights`` triple stays in typed arrays
+        (``'i'``/``'i'``/``'d'``): the heap loop slices rows out of them
+        directly and a native backend can adopt the buffers as-is.
         """
         n = len(self._nodes)
         arc_src, arc_dst, arc_w = self._arc_src, self._arc_dst, self._arc_w
+        m = len(arc_src)
         # One C-level min() validates every weight without a per-arc branch
         # in the bucketing loop below (the once-per-graph hoisted check).
         if arc_w and min(arc_w) < 0:
-            k = min(range(len(arc_w)), key=arc_w.__getitem__)
+            k = min(range(m), key=arc_w.__getitem__)
             raise ValueError(
                 f"negative weight {arc_w[k]} on auxiliary edge "
                 f"{self._nodes[arc_src[k]]} -> {self._nodes[arc_dst[k]]}"
             )
+        # tolist() boxes each typed-array element once, in a single C pass;
+        # the Python-level loops below then iterate plain lists (increfs)
+        # instead of re-boxing ints/doubles per access.
+        src_list = arc_src.tolist()
         # Counter counts at C speed; the prefix sum only touches n+1 slots.
-        counts = Counter(arc_src)
-        offsets = [0] * (n + 1)
+        counts = Counter(src_list)
+        offsets = array("i", [0]) * (n + 1)
         total = 0
         counts_get = counts.get
         for i in range(n):
             total += counts_get(i, 0)
             offsets[i + 1] = total
         cursor = list(offsets)
-        dst: List[int] = [0] * len(arc_src)
-        weights: List[float] = [0.0] * len(arc_src)
-        for u, v, w in zip(arc_src, arc_dst, arc_w):
+        targets = array("i", [0]) * m
+        weights = array("d", [0.0]) * m
+        for u, v, w in zip(src_list, arc_dst.tolist(), arc_w.tolist()):
             slot = cursor[u]
-            dst[slot] = v
+            targets[slot] = v
             weights[slot] = w
             cursor[u] = slot + 1
         self._csr_offsets = offsets
-        self._csr_dst = dst
+        self._csr_dst = targets
         self._csr_w = weights
-        return offsets, dst, weights
+        return offsets, targets, weights
+
+    def compiled_csr(self) -> Tuple[array, array, array]:
+        """The compiled typed-array CSR ``(offsets, targets, weights)``.
+
+        Compiles (or recompiles after mutation) on demand and returns the
+        cached arrays without copying — the same buffers the heap loop
+        consumes, suitable for handing to a native kernel via the buffer
+        protocol.  Staleness covers both mutation kinds: arcs appended
+        through the raw arrays (arc count outgrows ``offsets[-1]``) and
+        nodes interned after compilation (``offsets`` must always span
+        ``num_nodes + 1`` rows, even for arc-less nodes).
+        """
+        offsets = self._csr_offsets
+        if (
+            offsets is None
+            or offsets[-1] != len(self._arc_src)
+            or len(offsets) != len(self._nodes) + 1
+        ):
+            return self._compile()
+        return offsets, self._csr_dst, self._csr_w  # type: ignore[return-value]
 
     def dijkstra(
         self, source: Node, with_predecessors: bool = False
@@ -415,14 +465,11 @@ class InternedAuxiliaryGraph:
         by the dense ids.  Ties are broken by id, which preserves the
         distances exactly (any tie-break yields the same distance array).
         """
-        offsets = self._csr_offsets
-        # Recompile when missing or stale — arcs appended through the raw
-        # arc_lists() references after a previous run don't invalidate the
-        # cache, but they do grow the arc lists past the compiled total.
-        if offsets is None or offsets[-1] != len(self._arc_src):
-            offsets, dst, weights = self._compile()
-        else:
-            dst, weights = self._csr_dst, self._csr_w
+        # compiled_csr() recompiles when missing or stale — arcs appended
+        # through the raw arc_lists() references after a previous run (they
+        # grow the arc arrays past the compiled total) and nodes interned
+        # after compilation both invalidate the cached arrays.
+        offsets, dst, weights = self.compiled_csr()
         source_id = self.intern(source)
         n = len(self._nodes)
         inf = _INF

@@ -1,0 +1,38 @@
+"""The e2e benchmark harness must be bit-deterministic run to run.
+
+Perf PRs justify themselves by diffing ``BENCH_msrp.json`` wall times at
+*identical* output fingerprints.  That argument only holds if the harness
+itself is deterministic: same sizes, same seeds, same solver outputs, same
+entry counts and checksums on every invocation.  This test runs the
+``--fast`` suite twice in-process and asserts the fingerprints agree, so a
+perf change can never silently alter what is being computed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.bench_msrp_e2e import main
+
+
+def _load_runs(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {run["key"]: run for run in payload["runs"]}
+
+
+def test_fast_harness_fingerprints_are_deterministic(tmp_path):
+    paths = [tmp_path / "first.json", tmp_path / "second.json"]
+    for path in paths:
+        assert main(["--fast", "--json", str(path)]) == 0
+    first, second = (_load_runs(path) for path in paths)
+
+    assert first.keys() == second.keys()
+    assert first, "harness produced no runs"
+    for key in first:
+        fp_first = first[key]["fingerprint"]
+        fp_second = second[key]["fingerprint"]
+        assert fp_first == fp_second, f"{key}: fingerprints diverged"
+        assert fp_first["entries"] > 0
+        # The breakdown keys are always present (zero under "direct").
+        assert set(first[key]["aux_breakdown"]) == {"tables", "walks", "assembly"}

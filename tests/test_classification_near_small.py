@@ -151,3 +151,23 @@ class TestNearSmallTables:
         scale = ProblemScale(5, 1, AlgorithmParams())
         tables = compute_near_small_tables(g, 0, tree, scale)
         assert tables.value(99, (0, 1)) is math.inf
+
+    def test_known_pairs_rejects_arithmetic_infinities(self):
+        """Regression: the finite filter must not rely on the inf singleton.
+
+        ``float("inf")`` and arithmetic like ``math.inf + 1`` produce float
+        objects that are *not* ``math.inf`` by identity; an ``is``-based
+        filter would classify them as finite.  ``known_pairs`` must filter
+        by value (``math.isinf``), not identity.
+        """
+        from repro.core.near_small import NearSmallTables
+
+        arithmetic_inf = math.inf + 1.0
+        values = {
+            (1, (0, 1)): math.inf,        # the singleton
+            (2, (0, 2)): float("inf"),    # parsed infinity
+            (3, (0, 3)): arithmetic_inf,  # arithmetic-produced infinity
+            (4, (0, 4)): 3.0,
+        }
+        tables = NearSmallTables(0, values)
+        assert tables.known_pairs() == [(4, (0, 4))]

@@ -1,0 +1,233 @@
+"""Differential fuzz battery for the flat-substrate migration.
+
+Two families of seeded random-instance checks pin the fast paths to their
+oracles:
+
+* **Pipeline vs brute force** — the full MSRP auxiliary-strategy pipeline
+  (interned typed-array Dijkstra, folded dense-table builders, flat id-path
+  walks) against the per-edge BFS brute-force oracle, entry for entry.
+* **Dense table builders vs pre-dense references** — the Section 8.1 / 8.2 /
+  8.3.2 auxiliary-table builders (``compute_source_to_center_tables``,
+  ``compute_center_to_landmark_tables``, ``compute_interval_avoiding_tables``)
+  against their dict-builder reference implementations, which materialise
+  the full auxiliary graph with per-query tree predicates.  Equality is
+  exact dict equality: same keys, same values.
+
+The unmarked tests run a handful of seeds so every push exercises the
+differentials; the ``slow``-marked sweeps widen the same invariants to ~50
+seeds per generator for the nightly job.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.landmarks import LandmarkHierarchy
+from repro.core.msrp import multiple_source_replacement_paths
+from repro.core.near_small import compute_near_small_tables
+from repro.core.params import AlgorithmParams, ProblemScale
+from repro.graph import generators
+from repro.graph.csr import bfs_many
+from repro.multisource.bottleneck import (
+    MTCEvaluator,
+    compute_interval_avoiding_tables,
+    compute_interval_avoiding_tables_reference,
+    find_bottleneck_edges,
+)
+from repro.multisource.centers import CenterHierarchy
+from repro.multisource.intervals import decompose_path
+from repro.multisource.tables import (
+    compute_center_to_landmark_tables,
+    compute_center_to_landmark_tables_reference,
+    compute_small_paths_through_centers,
+    compute_source_to_center_tables,
+    compute_source_to_center_tables_reference,
+)
+from repro.rp.bruteforce import brute_force_multi_source
+
+#: name -> seeded factory.  Sizes stay small enough for the brute-force
+#: oracle; every generator takes the seed so the sweeps genuinely vary.
+GENERATORS = {
+    "gnp": lambda seed: generators.gnp_random_graph(12, 0.3, seed=seed),
+    "gnm": lambda seed: generators.gnm_random_graph(11, 16, seed=seed),
+    "regular": lambda seed: generators.random_regular_graph(10, 3, seed=seed),
+    "connected": lambda seed: generators.random_connected_graph(
+        12, extra_edges=9, seed=seed
+    ),
+    "clusters": lambda seed: generators.path_with_clusters(5, 3, 2, seed=seed),
+}
+
+FAST_SEEDS = range(3)
+SLOW_SEEDS = range(100, 150)  # ~50 seeds per generator for the nightly job
+
+
+def _check_pipeline_matches_bruteforce(name: str, seed: int) -> None:
+    graph = GENERATORS[name](seed)
+    rng = random.Random(seed)
+    count = min(3, max(1, graph.num_vertices))
+    sources = sorted(rng.sample(range(graph.num_vertices), count))
+    result = multiple_source_replacement_paths(
+        graph,
+        sources,
+        params=AlgorithmParams(seed=seed),
+        landmark_strategy="auxiliary",
+    )
+    reference = brute_force_multi_source(graph, sources)
+    mismatches = result.differences_from(reference)
+    assert not mismatches, (
+        f"{name}/seed={seed}: {len(mismatches)} mismatches, "
+        f"first: {mismatches[:3]}"
+    )
+
+
+def _table_instance(seed: int, n: int = 24):
+    """A medium instance with every ingredient the table builders need."""
+    if seed % 2 == 0:
+        graph = generators.random_connected_graph(n, extra_edges=2 * n, seed=seed)
+    else:
+        graph = generators.gnp_random_graph(n, 0.25, seed=seed)
+    rng = random.Random(seed)
+    sources = sorted(rng.sample(range(n), 2))
+    scale = ProblemScale(n, len(sources), AlgorithmParams(seed=seed))
+    landmarks = LandmarkHierarchy.sample(scale, sources, rng)
+    centers = CenterHierarchy.sample(scale, sources, rng)
+    roots = sorted(set(list(landmarks.union) + list(centers.all) + sources))
+    trees = bfs_many(graph, roots)
+    landmark_trees = {r: trees[r] for r in landmarks.union}
+    center_trees = {c: trees[c] for c in centers.all}
+    near_small = {
+        s: compute_near_small_tables(graph, s, trees[s], scale, with_paths=True)
+        for s in sources
+    }
+    small_through = compute_small_paths_through_centers(
+        sources, landmarks.union, near_small, centers
+    )
+    return (
+        graph,
+        sources,
+        scale,
+        landmarks,
+        centers,
+        trees,
+        landmark_trees,
+        center_trees,
+        near_small,
+        small_through,
+    )
+
+
+def _check_tables_match_references(seed: int) -> None:
+    (
+        graph,
+        sources,
+        scale,
+        landmarks,
+        centers,
+        trees,
+        landmark_trees,
+        center_trees,
+        near_small,
+        small_through,
+    ) = _table_instance(seed)
+
+    # Section 8.2: dense folded builder == dict-builder reference.
+    center_to_landmark = {}
+    for center in sorted(centers.all):
+        kwargs = dict(
+            center=center,
+            center_tree=center_trees[center],
+            priority=centers.priority_of(center),
+            landmarks=landmarks.union,
+            landmark_trees=landmark_trees,
+            scale=scale,
+            small_through=small_through.get(center),
+        )
+        dense = compute_center_to_landmark_tables(**kwargs)
+        reference = compute_center_to_landmark_tables_reference(**kwargs)
+        assert dense == reference, f"seed={seed}: center {center} tables differ"
+        center_to_landmark[center] = dense
+
+    for source in sources:
+        source_tree = trees[source]
+
+        # Section 8.1: dense folded builder == dict-builder reference.
+        kwargs = dict(
+            graph=graph,
+            source=source,
+            source_tree=source_tree,
+            centers=centers,
+            center_trees=center_trees,
+            scale=scale,
+            near_small=near_small[source],
+        )
+        source_to_center = compute_source_to_center_tables(**kwargs)
+        reference = compute_source_to_center_tables_reference(**kwargs)
+        assert source_to_center == reference, (
+            f"seed={seed}: source-to-center tables differ for source {source}"
+        )
+
+        # Section 8.3.2: dense folded builder == dict-builder reference,
+        # on the real bottleneck/interval scaffolding of this source.
+        evaluator = MTCEvaluator(
+            source=source,
+            source_tree=source_tree,
+            source_to_center=source_to_center,
+            center_to_landmark=center_to_landmark,
+            center_trees=center_trees,
+        )
+        landmark_paths = {}
+        landmark_intervals = {}
+        bottlenecks = {}
+        for landmark in sorted(landmarks.union):
+            if landmark == source or not source_tree.is_reachable(landmark):
+                continue
+            path = source_tree.path_to(landmark)
+            intervals = decompose_path(path, centers.priority_of)
+            landmark_paths[landmark] = path
+            landmark_intervals[landmark] = intervals
+            bottlenecks[landmark] = find_bottleneck_edges(
+                path, intervals, landmark, evaluator
+            )
+        kwargs = dict(
+            source=source,
+            source_tree=source_tree,
+            landmark_paths=landmark_paths,
+            landmark_intervals=landmark_intervals,
+            bottlenecks=bottlenecks,
+            landmark_trees=landmark_trees,
+            evaluator=evaluator,
+            near_small=near_small[source],
+        )
+        dense = compute_interval_avoiding_tables(**kwargs)
+        reference = compute_interval_avoiding_tables_reference(**kwargs)
+        assert dense == reference, (
+            f"seed={seed}: interval-avoiding tables differ for source {source}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_auxiliary_pipeline_matches_bruteforce(name):
+    for seed in FAST_SEEDS:
+        _check_pipeline_matches_bruteforce(name, seed)
+
+
+def test_dense_tables_match_references():
+    for seed in FAST_SEEDS:
+        _check_tables_match_references(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_auxiliary_pipeline_matches_bruteforce_sweep(name):
+    """~50 seeded graphs per generator through the full pipeline."""
+    for seed in SLOW_SEEDS:
+        _check_pipeline_matches_bruteforce(name, seed)
+
+
+@pytest.mark.slow
+def test_dense_tables_match_references_sweep():
+    """Wider sweep of the dense-vs-reference table differentials."""
+    for seed in range(200, 216):
+        _check_tables_match_references(seed)

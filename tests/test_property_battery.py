@@ -20,10 +20,16 @@ contracts against each other:
   ``edge_child``, ``distance_avoiding``, ``subtree_size``) agree with
   naive parent-pointer walks, and trees produced by ``bfs_many`` build no
   structural cache until the first structural query.
-* **Interned Dijkstra == reference Dijkstra** — the flat-array
+* **Interned Dijkstra == reference Dijkstra** — the typed-array
   :class:`InternedAuxiliaryGraph` produces the same distances (and
   distance-consistent predecessors) as the dict-based reference on the
-  same randomly weighted auxiliary graphs.
+  same randomly weighted auxiliary graphs, and its compiled CSR really is
+  the typed-array (``'i'``/``'i'``/``'d'``) form.
+* **Id-path walk == tuple-node walk** — ``NearSmallTables.walk`` (flat
+  integer predecessor climb, intern-table decode at reconstruction only)
+  returns exactly what the historical tuple-node reconstruction
+  (``walk_reference``) returns, including ``[]`` for unreachable pairs,
+  and still raises without ``with_paths=True``.
 
 The default battery is sized to stay fast; the ``slow`` marked variants
 rerun the same invariants over many more seeds (deselect in CI with
@@ -34,12 +40,15 @@ from __future__ import annotations
 
 import math
 import random
+from array import array
 
 import pytest
 
 from repro.core.msrp import multiple_source_replacement_paths
-from repro.core.params import AlgorithmParams
+from repro.core.near_small import compute_near_small_tables, near_edges_from_target
+from repro.core.params import AlgorithmParams, ProblemScale
 from repro.core.ssrp import single_source_replacement_paths
+from repro.exceptions import InvalidParameterError
 from repro.graph import generators
 from repro.graph.bfs import bfs_distances, bfs_tree
 from repro.graph.csr import bfs_distances_csr, bfs_many, bfs_tree_csr
@@ -296,6 +305,87 @@ def test_interned_dijkstra_matches_reference(name):
                     abs(step - w) < 1e-9 for w in arcs[(a, b)]
                 ), f"{name}: step {a}->{b} not realised by any arc weight"
             assert ref_dist[node] == distance
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_typed_array_csr_dijkstra_matches_reference(name):
+    """The compiled CSR is genuinely typed arrays, with reference distances.
+
+    ``compiled_csr()`` must hand back ``array('i')`` offsets/targets and
+    ``array('d')`` weights whose row structure covers every arc, and the
+    heap loop consuming them must agree with the dict-based reference.
+    """
+    for seed in (5, 6):
+        graph = GENERATORS[name](seed)
+        reference, interned, _arcs = build_auxiliary_pair(graph, seed)
+        offsets, targets, weights = interned.compiled_csr()
+        assert isinstance(offsets, array) and offsets.typecode == "i"
+        assert isinstance(targets, array) and targets.typecode == "i"
+        assert isinstance(weights, array) and weights.typecode == "d"
+        assert len(offsets) == interned.num_nodes + 1
+        assert len(targets) == len(weights) == offsets[-1] == interned.num_edges
+        assert list(offsets) == sorted(offsets), "offsets must be monotone"
+        source = ("v", seed % graph.num_vertices)
+        ref_dist, _ = dijkstra(reference.adjacency(), source)
+        int_dist, _ = interned.dijkstra(source)
+        assert int_dist.to_dict() == ref_dist, f"{name}/seed={seed}"
+        # The compiled arrays are cached: a second call returns the same
+        # buffers, a mutation recompiles.
+        assert interned.compiled_csr()[0] is offsets
+        interned.add_edge(("fresh",), ("fresh2",), 1.0)
+        offsets = interned.compiled_csr()[0]
+        assert len(offsets) == interned.num_nodes + 1
+        # Node-only mutations (no new arcs) must also recompile: offsets
+        # spans num_nodes + 1 rows even for arc-less late-interned nodes.
+        interned.intern(("late", "node"))
+        offsets2, _, _ = interned.compiled_csr()
+        assert len(offsets2) == interned.num_nodes + 1
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_near_small_walk_id_paths_match_tuple_reference(name):
+    """Flat id-path walks == tuple-node walks on every (target, near-edge).
+
+    Sweeping *all* near pairs (not just the finite-valued ones) also pins
+    the unreachable case: both reconstructions must return ``[]``.
+    """
+    seed = 11
+    graph = GENERATORS[name](seed)
+    n = graph.num_vertices
+    scale = ProblemScale(n, 1, AlgorithmParams(seed=seed))
+    for source in {0, n - 1}:
+        tree = bfs_tree_csr(graph, source)
+        tables = compute_near_small_tables(graph, source, tree, scale, with_paths=True)
+        checked = reachable = 0
+        for target in range(n):
+            if target == source:
+                continue
+            for edge, _ in near_edges_from_target(tree, target, scale):
+                flat = tables.walk(target, edge)
+                assert flat == tables.walk_reference(target, edge), (
+                    f"{name}: walk({target}, {edge}) diverged"
+                )
+                checked += 1
+                if flat:
+                    reachable += 1
+                    assert flat[0] == source and flat[-1] == target
+                else:
+                    assert tables.value(target, edge) == math.inf
+        assert checked > 0 or n <= 1
+        # Unknown (target, edge) pairs reconstruct to [] on both paths.
+        assert tables.walk(n + 5, (0, 1)) == []
+        assert tables.walk_reference(n + 5, (0, 1)) == []
+
+
+def test_walk_without_paths_raises_on_both_variants():
+    graph = generators.cycle_graph(6)
+    tree = bfs_tree_csr(graph, 0)
+    scale = ProblemScale(6, 1, AlgorithmParams())
+    tables = compute_near_small_tables(graph, 0, tree, scale)
+    with pytest.raises(InvalidParameterError):
+        tables.walk(2, (0, 1))
+    with pytest.raises(InvalidParameterError):
+        tables.walk_reference(2, (0, 1))
 
 
 def test_interned_dijkstra_rejects_negative_weights_upfront():
