@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import platform
 import random
 import sys
@@ -50,8 +51,12 @@ def sparse_workload(num_vertices: int, seed: int):
     return random_connected_graph(num_vertices, extra_edges=2 * num_vertices, seed=seed)
 
 
-def run_key(n: int, sigma: int, strategy: str) -> str:
-    return f"n={n},sigma={sigma},strategy={strategy}"
+def run_key(n: int, sigma: int, strategy: str, workers: int = 0) -> str:
+    """Stable row key; serial rows keep the historical key (baselines diff)."""
+    key = f"n={n},sigma={sigma},strategy={strategy}"
+    if workers:
+        key += f",workers={workers}"
+    return key
 
 
 def aux_breakdown(phase_seconds: Dict[str, float]) -> Dict[str, float]:
@@ -83,7 +88,9 @@ def fingerprint(result) -> Dict[str, float]:
     return {"entries": entries, "finite_sum": finite_sum, "infinite": infinite}
 
 
-def run_one(n: int, sigma: int, strategy: str, repeat: int) -> Dict:
+def run_one(
+    n: int, sigma: int, strategy: str, repeat: int, workers: int = 0
+) -> Dict:
     """Run one configuration ``repeat`` times and keep the best wall time."""
     graph = sparse_workload(n, seed=n)
     rng = random.Random(n)
@@ -93,7 +100,7 @@ def run_one(n: int, sigma: int, strategy: str, repeat: int) -> Dict:
         solver = MSRPSolver(
             graph,
             sources,
-            params=AlgorithmParams(seed=n),
+            params=AlgorithmParams(seed=n, workers=workers),
             landmark_strategy=strategy,
         )
         start = time.perf_counter()
@@ -101,10 +108,11 @@ def run_one(n: int, sigma: int, strategy: str, repeat: int) -> Dict:
         wall = time.perf_counter() - start
         if best is None or wall < best["wall_seconds"]:
             best = {
-                "key": run_key(n, sigma, strategy),
+                "key": run_key(n, sigma, strategy, workers),
                 "n": n,
                 "sigma": sigma,
                 "strategy": strategy,
+                "workers": workers,
                 "sources": sources,
                 "num_edges": graph.num_edges,
                 "wall_seconds": wall,
@@ -117,30 +125,57 @@ def run_one(n: int, sigma: int, strategy: str, repeat: int) -> Dict:
 
 
 def run_suite(
-    sizes: List[int], sigma: int, strategy: str, repeat: int, verbose: bool = True
+    sizes: List[int],
+    sigma: int,
+    strategy: str,
+    repeat: int,
+    workers_list: Optional[List[int]] = None,
+    verbose: bool = True,
 ) -> List[Dict]:
+    """One row per (size, worker count); serial rows keep historical keys.
+
+    Worker-count rows of the same size must report identical fingerprints —
+    that is the determinism contract of :mod:`repro.parallel`, and
+    :func:`main` enforces it after the suite runs.
+    """
+    workers_list = workers_list if workers_list is not None else [0]
     runs = []
     for n in sizes:
-        run = run_one(n, sigma, strategy, repeat)
-        runs.append(run)
-        if verbose:
-            phases = ", ".join(
-                f"{name}={seconds:.3f}s"
-                for name, seconds in sorted(
-                    run["phase_seconds"].items(), key=lambda kv: -kv[1]
-                )
-            )
-            print(f"{run['key']}: {run['wall_seconds']:.3f}s  ({phases})")
-            breakdown = run["aux_breakdown"]
-            if any(breakdown.values()):
-                print(
-                    "  aux breakdown: "
-                    + ", ".join(
-                        f"{name}={seconds:.3f}s"
-                        for name, seconds in breakdown.items()
+        for workers in workers_list:
+            run = run_one(n, sigma, strategy, repeat, workers=workers)
+            runs.append(run)
+            if verbose:
+                phases = ", ".join(
+                    f"{name}={seconds:.3f}s"
+                    for name, seconds in sorted(
+                        run["phase_seconds"].items(), key=lambda kv: -kv[1]
                     )
                 )
+                print(f"{run['key']}: {run['wall_seconds']:.3f}s  ({phases})")
+                breakdown = run["aux_breakdown"]
+                if any(breakdown.values()):
+                    print(
+                        "  aux breakdown: "
+                        + ", ".join(
+                            f"{name}={seconds:.3f}s"
+                            for name, seconds in breakdown.items()
+                        )
+                    )
     return runs
+
+
+def check_worker_fingerprints(runs: List[Dict]) -> None:
+    """Fail loudly if any worker count computed something different."""
+    by_config: Dict[str, Dict] = {}
+    for run in runs:
+        config = run_key(run["n"], run["sigma"], run["strategy"])
+        reference = by_config.setdefault(config, run)
+        if run["fingerprint"] != reference["fingerprint"]:
+            raise AssertionError(
+                f"fingerprint diverged across worker counts for {config}: "
+                f"workers={reference['workers']} -> {reference['fingerprint']}, "
+                f"workers={run['workers']} -> {run['fingerprint']}"
+            )
 
 
 def attach_baseline(payload: Dict, baseline_path: str) -> None:
@@ -185,30 +220,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repeat", type=int, default=1, help="repetitions per size (best kept)"
     )
     parser.add_argument(
+        "--workers",
+        type=lambda text: [int(part) for part in text.split(",") if part],
+        default=None,
+        metavar="W[,W...]",
+        help=(
+            "comma-separated worker counts; one row per (size, count), 0 = "
+            "serial (default: 0).  Fingerprints must agree across counts."
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         metavar="PATH",
         help="previous JSON report to embed and compute speedups against",
+    )
+    parser.add_argument(
+        "--note",
+        default=None,
+        help="free-form annotation embedded in the JSON (e.g. hardware caveats)",
     )
     args = parser.parse_args(argv)
 
     sizes = args.sizes if args.sizes is not None else (
         FAST_SIZES if args.fast else DEFAULT_SIZES
     )
-    runs = run_suite(sizes, args.sigma, args.strategy, max(1, args.repeat))
+    workers_list = args.workers if args.workers else [0]  # [] would emit no rows
+    runs = run_suite(
+        sizes, args.sigma, args.strategy, max(1, args.repeat), workers_list
+    )
+    check_worker_fingerprints(runs)
 
     payload: Dict = {
         "harness": "bench_msrp_e2e",
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "config": {
             "sizes": sizes,
             "sigma": args.sigma,
             "strategy": args.strategy,
             "repeat": max(1, args.repeat),
             "fast": bool(args.fast),
+            "workers": workers_list,
         },
         "runs": runs,
     }
+    if args.note:
+        payload["note"] = args.note
     if args.baseline:
         attach_baseline(payload, args.baseline)
         for key, speedup in sorted(payload["speedup_vs_baseline"].items()):

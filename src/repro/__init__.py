@@ -10,6 +10,8 @@ The package is organised in layers:
 * :mod:`repro.core` — the paper's SSRP/MSRP pipeline (Sections 5-7).
 * :mod:`repro.multisource` — the Section 8 machinery that computes
   source-to-landmark replacement paths in ``O~(m sqrt(n sigma) + sigma n^2)``.
+* :mod:`repro.parallel` — process-sharded execution of the per-source
+  phases (``AlgorithmParams.workers``), deterministic at any worker count.
 * :mod:`repro.oracle` — a fault-tolerant distance-oracle facade.
 * :mod:`repro.lowerbound` — the Section 9 reduction from Boolean matrix
   multiplication.

@@ -41,6 +41,15 @@ def _build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--verify", action="store_true", help="cross-check the output against brute force"
     )
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for the sharded per-source phases "
+            "(0 = serial; output is byte-identical at any worker count)"
+        ),
+    )
 
     ssrp = sub.add_parser("ssrp", parents=[common], help="single source replacement paths")
     ssrp.add_argument("--source", type=int, default=0)
@@ -61,7 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _run_solver(args: argparse.Namespace, sources: Sequence[int], strategy: str) -> int:
     graph = generators.random_connected_graph(args.n, args.extra_edges, seed=args.seed)
-    params = AlgorithmParams(seed=args.seed, verify=args.verify)
+    params = AlgorithmParams(seed=args.seed, verify=args.verify, workers=args.workers)
     solver = MSRPSolver(graph, sources, params=params, landmark_strategy=strategy)
     result = solver.solve()
     print(f"graph: n={graph.num_vertices} m={graph.num_edges} sigma={len(solver.sources)}")

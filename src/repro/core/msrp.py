@@ -33,13 +33,14 @@ from repro.core.far_edges import FarEdgeSolver
 from repro.core.landmark_rp import SourceLandmarkTables, compute_direct_tables
 from repro.core.landmarks import LandmarkHierarchy
 from repro.core.near_large import NearLargeSolver
-from repro.core.near_small import NearSmallTables, compute_near_small_tables
+from repro.core.near_small import NearSmallTables
 from repro.core.params import AlgorithmParams, ProblemScale
 from repro.core.result import PerSourceTable, ReplacementPathResult
 from repro.exceptions import InternalInvariantError, InvalidParameterError
 from repro.graph.csr import bfs_many
 from repro.graph.graph import Graph
 from repro.graph.tree import ShortestPathTree
+from repro.parallel import run_sharded
 
 #: Valid values of the ``landmark_strategy`` argument.
 LANDMARK_STRATEGIES = ("direct", "auxiliary")
@@ -113,9 +114,11 @@ class MSRPSolver:
         start = time.perf_counter()
         # One batched sweep over the CSR kernel: the flat form is compiled
         # once and shared by every root, and a landmark that is also a
-        # source reuses the same tree object.
+        # source reuses the same tree object.  With ``params.workers`` the
+        # root fan-out shards across the process pool.
+        workers = self.params.workers
         landmark_roots = sorted(self.landmarks.union)
-        trees = bfs_many(self.graph, self.sources + landmark_roots)
+        trees = bfs_many(self.graph, self.sources + landmark_roots, workers=workers)
         self.source_trees = {s: trees[s] for s in self.sources}
         self.landmark_trees = {r: trees[r] for r in landmark_roots}
         self.phase_seconds["bfs_trees"] = time.perf_counter() - start
@@ -125,12 +128,19 @@ class MSRPSolver:
         self.phase_seconds["landmark_replacement_paths"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        self.near_small_tables = {
-            s: compute_near_small_tables(
-                self.graph, s, self.source_trees[s], self.scale
-            )
-            for s in self.sources
-        }
+        from repro.parallel.tasks import near_small_task
+
+        self.near_small_tables = run_sharded(
+            near_small_task,
+            self.sources,
+            {
+                "graph": self.graph,
+                "trees": self.source_trees,
+                "scale": self.scale,
+                "with_paths": False,
+            },
+            workers=workers,
+        )
         self.phase_seconds["near_small_auxiliary"] = time.perf_counter() - start
         return self
 
@@ -152,6 +162,7 @@ class MSRPSolver:
             landmark_trees=self.landmark_trees,
             rng=rng,
             phase_seconds=self.phase_seconds,
+            workers=self.params.workers,
         )
 
     def solve(self) -> ReplacementPathResult:
@@ -167,78 +178,26 @@ class MSRPSolver:
             self.landmarks, self.landmark_trees, self.landmark_tables
         )
 
-        tables: Dict[int, PerSourceTable] = {}
-        for source in self.sources:
-            tables[source] = self._solve_single_source(
-                source, far_solver, large_solver
-            )
+        from repro.parallel.tasks import solve_sources_task
+
+        tables: Dict[int, PerSourceTable] = run_sharded(
+            solve_sources_task,
+            self.sources,
+            {
+                "source_trees": self.source_trees,
+                "near_small_tables": self.near_small_tables,
+                "scale": self.scale,
+                "far_solver": far_solver,
+                "large_solver": large_solver,
+            },
+            workers=self.params.workers,
+        )
         self.phase_seconds["assembly"] = time.perf_counter() - start
 
-        result = ReplacementPathResult(tables, self.source_trees)
+        result = ReplacementPathResult(tables, self.source_trees, graph=self.graph)
         if self.params.verify:
             self._verify(result)
         return result
-
-    def _solve_single_source(
-        self,
-        source: int,
-        far_solver: FarEdgeSolver,
-        large_solver: NearLargeSolver,
-    ) -> PerSourceTable:
-        """Assemble the replacement table of one source in a single sweep.
-
-        Rather than re-walking ``path_to(target)`` and re-classifying its
-        edges per target (``O(depth)`` parent hops, a ``ClassifiedEdge``
-        allocation and an edge normalisation per (target, edge)), this
-        visits the targets in tree preorder while maintaining the stack of
-        normalised path edges: moving from one target to the next truncates
-        the stack to the new parent's depth and pushes one edge, so every
-        tree edge is normalised exactly once and per-(target, edge)
-        classification is two array reads (the stack entry and the
-        precomputed far-level-by-distance table).
-        """
-        tree = self.source_trees[source]
-        small_tables = self.near_small_tables[source]
-        scale = self.scale
-        order = tree.order
-        dist = tree.dist
-        parent = tree.parent
-
-        # far_level_of[d] for every possible distance-to-target along a
-        # path; -1 marks the near range (classify_path_edges semantics).
-        max_depth = int(dist[order[-1]]) if order else 0
-        near_threshold = scale.near_threshold
-        far_level_of = [
-            -1 if d < near_threshold else scale.far_level(d)
-            for d in range(max_depth + 1)
-        ]
-
-        small_value = small_tables.value_normalized
-        large_candidate = large_solver.candidate
-        far_candidate = far_solver.candidate_edge
-
-        preorder = tree.preorder()
-        edge_stack: List = []
-        per_source: PerSourceTable = {}
-        for target in preorder[1:]:
-            p = parent[target]
-            del edge_stack[int(dist[p]):]
-            edge_stack.append((p, target) if p <= target else (target, p))
-            length = len(edge_stack)
-            per_target: Dict = {}
-            for i in range(length):
-                edge = edge_stack[i]
-                level = far_level_of[length - i - 1]
-                if level < 0:
-                    value = small_value(target, edge)
-                    alternative = large_candidate(source, target, edge)
-                    if alternative < value:
-                        value = alternative
-                else:
-                    value = far_candidate(source, target, edge, level)
-                per_target[edge] = value
-            per_source[target] = per_target
-        return per_source
 
     def _verify(self, result: ReplacementPathResult) -> None:
         from repro.rp.bruteforce import brute_force_multi_source
@@ -251,6 +210,71 @@ class MSRPSolver:
                 f"MSRP output disagrees with brute force on {len(mismatches)} "
                 f"entries; first mismatches: {sample}"
             )
+
+
+def solve_single_source(
+    source: int,
+    tree: ShortestPathTree,
+    small_tables: NearSmallTables,
+    scale: ProblemScale,
+    far_solver: FarEdgeSolver,
+    large_solver: NearLargeSolver,
+) -> PerSourceTable:
+    """Assemble the replacement table of one source in a single sweep.
+
+    Rather than re-walking ``path_to(target)`` and re-classifying its
+    edges per target (``O(depth)`` parent hops, a ``ClassifiedEdge``
+    allocation and an edge normalisation per (target, edge)), this
+    visits the targets in tree preorder while maintaining the stack of
+    normalised path edges: moving from one target to the next truncates
+    the stack to the new parent's depth and pushes one edge, so every
+    tree edge is normalised exactly once and per-(target, edge)
+    classification is two array reads (the stack entry and the
+    precomputed far-level-by-distance table).
+
+    A module-level function (not a solver method) so the process-sharded
+    assembly phase can dispatch it per source through
+    :mod:`repro.parallel.tasks`.
+    """
+    order = tree.order
+    dist = tree.dist
+    parent = tree.parent
+
+    # far_level_of[d] for every possible distance-to-target along a
+    # path; -1 marks the near range (classify_path_edges semantics).
+    max_depth = int(dist[order[-1]]) if order else 0
+    near_threshold = scale.near_threshold
+    far_level_of = [
+        -1 if d < near_threshold else scale.far_level(d)
+        for d in range(max_depth + 1)
+    ]
+
+    small_value = small_tables.value_normalized
+    large_candidate = large_solver.candidate
+    far_candidate = far_solver.candidate_edge
+
+    preorder = tree.preorder()
+    edge_stack: List = []
+    per_source: PerSourceTable = {}
+    for target in preorder[1:]:
+        p = parent[target]
+        del edge_stack[int(dist[p]):]
+        edge_stack.append((p, target) if p <= target else (target, p))
+        length = len(edge_stack)
+        per_target: Dict = {}
+        for i in range(length):
+            edge = edge_stack[i]
+            level = far_level_of[length - i - 1]
+            if level < 0:
+                value = small_value(target, edge)
+                alternative = large_candidate(source, target, edge)
+                if alternative < value:
+                    value = alternative
+            else:
+                value = far_candidate(source, target, edge, level)
+            per_target[edge] = value
+        per_source[target] = per_target
+    return per_source
 
 
 def multiple_source_replacement_paths(

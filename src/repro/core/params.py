@@ -56,6 +56,12 @@ class AlgorithmParams:
         brute-force oracle and raise
         :class:`~repro.exceptions.InternalInvariantError` on mismatch.
         Intended for tests and small instances only.
+    workers:
+        Process count for the sharded per-source phases
+        (:mod:`repro.parallel`).  ``0`` (default) and ``1`` run serially;
+        any larger value shards the BFS fan-out, the Section 7.1/8.1-8.3
+        builds and the assembly sweeps across that many worker processes.
+        Output is byte-identical at every worker count.
     """
 
     sampling_constant: float = 4.0
@@ -64,6 +70,7 @@ class AlgorithmParams:
     use_log_factor: bool = True
     seed: Optional[int] = None
     verify: bool = False
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.sampling_constant <= 0:
@@ -72,6 +79,8 @@ class AlgorithmParams:
             raise InvalidParameterError("threshold_constant must be positive")
         if self.interval_constant < 1:
             raise InvalidParameterError("interval_constant must be at least 1")
+        if self.workers < 0:
+            raise InvalidParameterError("workers must be non-negative")
 
 
 class ProblemScale:

@@ -12,10 +12,11 @@ Bernstein & Karger.
 from __future__ import annotations
 
 import math
+from operator import index as _vertex_id
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import InvalidParameterError, NotOnPathError
-from repro.graph.graph import Edge, normalize_edge
+from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
 
 #: target -> (edge -> replacement length)
@@ -33,17 +34,47 @@ class ReplacementPathResult:
     source_trees:
         The BFS trees that define the canonical paths; used to answer
         queries about edges *not* on the path and to reconstruct paths.
+    graph:
+        Optional originating graph.  When given, edge queries validate
+        the edge actually exists — asking for the replacement length of a
+        non-edge raises :class:`~repro.exceptions.InvalidParameterError`
+        instead of silently returning the intact tree distance.
     """
 
-    __slots__ = ("_tables", "_trees")
+    __slots__ = ("_tables", "_trees", "_graph", "_vertex_bound")
 
     def __init__(
         self,
         tables: Mapping[int, PerSourceTable],
         source_trees: Mapping[int, ShortestPathTree],
+        graph: Optional[Graph] = None,
     ):
-        self._tables: Dict[int, PerSourceTable] = {int(s): dict(v) for s, v in tables.items()}
+        # The copy also re-canonicalises infinities to the ``math.inf``
+        # singleton: tables assembled in pool workers come back through
+        # pickle, which materialises *new* float objects, and downstream
+        # consumers (the benchmark fingerprint, ``is math.inf`` callers)
+        # must not be able to tell a sharded run from a serial one.
+        inf = math.inf
+        self._tables: Dict[int, PerSourceTable] = {
+            int(s): {
+                t: {
+                    e: (inf if value == inf else value)
+                    for e, value in per_target.items()
+                }
+                for t, per_target in per_source.items()
+            }
+            for s, per_source in tables.items()
+        }
         self._trees: Dict[int, ShortestPathTree] = dict(source_trees)
+        self._graph = graph
+        # Vertex bound for graph-less edge validation, resolved once.
+        self._vertex_bound = (
+            graph.num_vertices
+            if graph is not None
+            else min(
+                (tree.num_vertices for tree in self._trees.values()), default=0
+            )
+        )
         for s in self._tables:
             if s not in self._trees:
                 raise InvalidParameterError(f"missing source tree for source {s}")
@@ -57,30 +88,27 @@ class ReplacementPathResult:
 
     def source_tree(self, source: int) -> ShortestPathTree:
         """The BFS tree that defines the canonical paths from ``source``."""
-        self._require_source(source)
-        return self._trees[source]
+        return self._trees[self._require_source(source)]
 
     def targets(self, source: int) -> List[int]:
         """Targets for which replacement data is stored for ``source``."""
-        self._require_source(source)
-        return sorted(self._tables[source])
+        return sorted(self._tables[self._require_source(source)])
 
     def table(self, source: int) -> PerSourceTable:
         """The raw per-source table (target -> edge -> length)."""
-        self._require_source(source)
-        return self._tables[source]
+        return self._tables[self._require_source(source)]
 
     # -- queries ---------------------------------------------------------------
 
     def distance(self, source: int, target: int) -> float:
         """Length of the canonical shortest ``source``-``target`` path."""
-        self._require_source(source)
-        return self._trees[source].distance(target)
+        source = self._require_source(source)
+        return self._trees[source].distance(_vertex_id(target))
 
     def canonical_path(self, source: int, target: int) -> List[int]:
         """The canonical shortest ``source``-``target`` path (vertex list)."""
-        self._require_source(source)
-        return self._trees[source].path_to(target)
+        source = self._require_source(source)
+        return self._trees[source].path_to(_vertex_id(target))
 
     def replacement_length(
         self, source: int, target: int, edge: Sequence[int]
@@ -91,9 +119,16 @@ class ReplacementPathResult:
         not change the distance, so the original shortest distance is
         returned for them.  ``math.inf`` means removing the edge disconnects
         the pair.
+
+        The edge must be an actual edge of the instance: a pair that is not
+        an edge of the graph (or, when the result was built without a graph
+        reference, whose endpoints are not even vertices) raises
+        :class:`~repro.exceptions.InvalidParameterError` rather than
+        answering for a deletion that cannot happen.
         """
-        self._require_source(source)
-        e = normalize_edge(int(edge[0]), int(edge[1]))
+        source = self._require_source(source)
+        target = _vertex_id(target)
+        e = self._require_edge(edge)
         per_target = self._tables[source].get(target, {})
         if e in per_target:
             return per_target[e]
@@ -109,8 +144,8 @@ class ReplacementPathResult:
 
     def replacement_lengths(self, source: int, target: int) -> Dict[Edge, float]:
         """All stored ``edge -> length`` entries for a ``(source, target)`` pair."""
-        self._require_source(source)
-        return dict(self._tables[source].get(target, {}))
+        source = self._require_source(source)
+        return dict(self._tables[source].get(_vertex_id(target), {}))
 
     # -- bulk views -------------------------------------------------------------
 
@@ -170,11 +205,41 @@ class ReplacementPathResult:
 
     # -- internals ---------------------------------------------------------------
 
-    def _require_source(self, source: int) -> None:
+    def _require_source(self, source: int) -> int:
+        """Coerce ``source`` onto the constructor's plain-``int`` keys.
+
+        ``operator.index`` accepts every true integer type (``bool``, numpy
+        integer scalars) so such inputs address the same entries they would
+        have created instead of falling through lookups into the "not
+        stored" branches — while rejecting non-integral values like ``0.7``
+        (``TypeError``) instead of silently truncating to a valid source.
+        Returns the coerced key.
+        """
+        source = _vertex_id(source)
         if source not in self._tables:
             raise InvalidParameterError(
                 f"{source} is not one of the result's sources {self.sources}"
             )
+        return source
+
+    def _require_edge(self, edge: Sequence[int]) -> Edge:
+        """Normalise ``edge`` and reject pairs that are not graph edges."""
+        u, v = int(edge[0]), int(edge[1])
+        graph = self._graph
+        if graph is not None:
+            if not graph.has_edge(u, v):
+                raise InvalidParameterError(
+                    f"({u}, {v}) is not an edge of the graph; replacement "
+                    "lengths are only defined for deletable edges"
+                )
+        else:
+            # No graph reference: the trees still bound the vertex range.
+            n = self._vertex_bound
+            if not (0 <= u < n and 0 <= v < n) or u == v:
+                raise InvalidParameterError(
+                    f"({u}, {v}) is not an edge of a graph on {n} vertices"
+                )
+        return normalize_edge(u, v)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

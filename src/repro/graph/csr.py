@@ -148,6 +148,24 @@ class CSRGraph:
     def __len__(self) -> int:
         return self.num_vertices
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        """Ship only the neighbour rows; the flat arrays rebuild lazily.
+
+        The rows are the working form every kernel iterates; the typed
+        offset/neighbour arrays are a derived cache that costs one linear
+        pass to rematerialise, so dropping them keeps worker transfer at
+        one copy of the adjacency structure.
+        """
+        return self.rows
+
+    def __setstate__(self, rows) -> None:
+        self.rows = rows
+        self.num_vertices = len(rows)
+        self._offsets = None
+        self._neighbors = None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
 
@@ -273,6 +291,7 @@ def bfs_many(
     graph: GraphLike,
     roots: Iterable[int],
     forbidden_edge: Optional[Sequence[int]] = None,
+    workers: int = 0,
 ) -> Dict[int, ShortestPathTree]:
     """Run one BFS per distinct root, compiling the CSR form only once.
 
@@ -283,6 +302,13 @@ def bfs_many(
     and share the same tree object (mirroring how the solver shares trees
     between a landmark that is also a source).
 
+    With ``workers > 1`` the distinct roots are sharded across a process
+    pool (:func:`repro.parallel.run_sharded`): the compiled CSR form ships
+    once per worker and each worker runs a contiguous chunk of roots.  The
+    returned mapping is identical to the serial one — same trees, same
+    first-seen key order (duplicates collapse onto one dict entry in both
+    paths).
+
     Returns
     -------
     dict
@@ -290,12 +316,31 @@ def bfs_many(
         order.
     """
     csr = ensure_csr(graph)
-    trees: Dict[int, ShortestPathTree] = {}
+    distinct: List[int] = []
+    seen = set()
     for root in roots:
         root = int(root)
-        if root not in trees:
-            trees[root] = bfs_tree_csr(csr, root, forbidden_edge=forbidden_edge)
-    return trees
+        if root not in seen:
+            seen.add(root)
+            distinct.append(root)
+
+    if workers > 1:
+        # run_sharded degrades to an in-process run of the same task when
+        # sharding cannot help (single root, nested pool worker).
+        from repro.parallel import run_sharded
+        from repro.parallel.tasks import bfs_roots_task
+
+        return run_sharded(
+            bfs_roots_task,
+            distinct,
+            {"graph": csr, "forbidden_edge": forbidden_edge},
+            workers=workers,
+        )
+
+    return {
+        root: bfs_tree_csr(csr, root, forbidden_edge=forbidden_edge)
+        for root in distinct
+    }
 
 
 def connected_components(graph: GraphLike) -> List[List[int]]:

@@ -182,6 +182,24 @@ class Graph:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Graph(n={self._n}, m={self.num_edges})"
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        """Compact pickled form: adjacency rows + edge tuple, no caches.
+
+        The cached CSR view is dropped (the receiving process recompiles it
+        lazily on first traversal) and the edge *set* is rebuilt from the
+        edge tuple on restore, so the wire format carries each edge once.
+        This is what ships a graph to pool workers under the ``spawn``
+        start method.
+        """
+        return (self._n, self._adj, self._edges)
+
+    def __setstate__(self, state) -> None:
+        self._n, self._adj, self._edges = state
+        self._edge_set = set(self._edges)
+        self._csr = None
+
     # -- constructors ------------------------------------------------------
 
     @classmethod

@@ -221,6 +221,38 @@ class ShortestPathTree:
             self._preorder = preorder
         return preorder
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        """Ship only the three flat BFS arrays; derived caches rebuild lazily.
+
+        Children rows, the tree-edge map, Euler intervals and the preorder
+        are all ``O(n)`` to rematerialise and usually *larger* than the
+        arrays they derive from, so a tree crosses the process boundary as
+        exactly what BFS produced.  A worker that only answers
+        distance-style queries never rebuilds anything — the laziness
+        contract survives the round trip.
+        """
+        return (self.root, self.parent, self.dist, self.order)
+
+    def __setstate__(self, state) -> None:
+        root, parent, dist, order = state
+        # Unpickling materialises *new* float objects, but several hot
+        # paths (``distance_avoiding``, ``tree_distance_table``, the
+        # Section 8 arc loops) test unreachability with ``is math.inf``
+        # against the singleton.  Re-canonicalise so identity semantics are
+        # indistinguishable from a locally built tree.
+        inf = math.inf
+        self.root = root
+        self.parent = parent
+        self.dist = [inf if d == inf else d for d in dist]
+        self.order = order
+        self._children = None
+        self._tree_edge_child = None
+        self._tin = None
+        self._tout = None
+        self._preorder = None
+
     @property
     def has_structural_cache(self) -> bool:
         """``True`` once any query materialised a derived structure.

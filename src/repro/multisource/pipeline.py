@@ -32,7 +32,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.landmark_rp import PerSourceLandmarkTable, SourceLandmarkTables
 from repro.core.landmarks import LandmarkHierarchy
-from repro.core.near_small import NearSmallTables, compute_near_small_tables
+from repro.core.near_small import NearSmallTables
 from repro.core.params import ProblemScale
 from repro.graph.csr import bfs_many
 from repro.graph.graph import Edge, Graph, normalize_edge
@@ -50,6 +50,7 @@ from repro.multisource.tables import (
     compute_small_paths_through_centers,
     compute_source_to_center_tables,
 )
+from repro.parallel import child_rng, run_sharded
 
 
 def compute_auxiliary_tables(
@@ -62,6 +63,7 @@ def compute_auxiliary_tables(
     rng: Optional[random.Random] = None,
     centers: Optional[CenterHierarchy] = None,
     phase_seconds: Optional[Dict[str, float]] = None,
+    workers: int = 0,
 ) -> SourceLandmarkTables:
     """Compute ``d(s, r, e)`` for all sources and landmarks via Section 8.
 
@@ -70,9 +72,22 @@ def compute_auxiliary_tables(
     enumeration), ``aux_tables`` (the 8.1/8.2/8.3 auxiliary-table builds)
     and ``aux_assembly`` (the per-edge path-cover minimisation) — the
     ``tables``/``walks`` breakdown the e2e benchmark harness reports.
+    With ``workers > 1`` the per-worker sub-phase times are *summed* into
+    the same keys, so the breakdown reports aggregate compute seconds
+    (wall time is what the caller measures around this function).
+
+    ``workers`` shards the per-root/per-center/per-source phases across a
+    process pool (:mod:`repro.parallel`); the returned tables are
+    byte-identical to the serial run at any worker count.
     """
     timings = phase_seconds if phase_seconds is not None else {}
-    rng = rng if rng is not None else random.Random(scale.params.seed)
+    if rng is None:
+        # A bare ``Random(seed)`` here would replay the exact stream the
+        # landmark sampler consumed (the solver seeds it with the same
+        # ``params.seed``), making the center draws perfectly correlated
+        # with the landmark draws and voiding the independence the
+        # Section 8 lemmas assume.  Derive a tagged child seed instead.
+        rng = child_rng(scale.params.seed, "multisource", "centers")
     centers = (
         centers
         if centers is not None
@@ -80,7 +95,8 @@ def compute_auxiliary_tables(
     )
 
     # BFS trees from every center, reusing the trees we already have; the
-    # remaining roots run as one batch over the graph's cached CSR kernel.
+    # remaining roots run as one batch over the graph's cached CSR kernel
+    # (sharded across the pool when ``workers`` asks for it).
     center_trees: Dict[int, ShortestPathTree] = {}
     missing: List[int] = []
     for center in sorted(centers.all):
@@ -90,15 +106,23 @@ def compute_auxiliary_tables(
             center_trees[center] = landmark_trees[center]
         else:
             missing.append(center)
-    center_trees.update(bfs_many(graph, missing))
+    center_trees.update(bfs_many(graph, missing, workers=workers))
 
-    # Section 7.1 tables with walk reconstruction (feeds 8.1 and 8.2.1).
-    near_small: Dict[int, NearSmallTables] = {
-        s: compute_near_small_tables(
-            graph, s, source_trees[s], scale, with_paths=True
-        )
-        for s in sources
-    }
+    # Section 7.1 tables with walk reconstruction (feeds 8.1 and 8.2.1),
+    # one independent auxiliary build per source.
+    from repro.parallel.tasks import assemble_task, center_tables_task, near_small_task
+
+    near_small: Dict[int, NearSmallTables] = run_sharded(
+        near_small_task,
+        sources,
+        {
+            "graph": graph,
+            "trees": source_trees,
+            "scale": scale,
+            "with_paths": True,
+        },
+        workers=workers,
+    )
 
     # Section 8.2.1 — small replacement paths split at centers (the flat
     # id-path walk reconstructions; timed as the "walks" sub-phase).
@@ -110,39 +134,50 @@ def compute_auxiliary_tables(
         timings.get("aux_walks", 0.0) + time.perf_counter() - start
     )
 
-    # Section 8.2 — per-center tables d(c, r, e).
+    # Section 8.2 — per-center tables d(c, r, e).  One independent
+    # |L|^2 x budget build per center: the widest shard of the pipeline.
     start = time.perf_counter()
-    center_to_landmark: Dict[int, PairEdgeTable] = {}
-    for center in sorted(centers.all):
-        center_to_landmark[center] = compute_center_to_landmark_tables(
-            center=center,
-            center_tree=center_trees[center],
-            priority=centers.priority_of(center),
-            landmarks=landmarks.union,
-            landmark_trees=landmark_trees,
-            scale=scale,
-            small_through=small_through.get(center),
-        )
+    center_to_landmark: Dict[int, PairEdgeTable] = run_sharded(
+        center_tables_task,
+        sorted(centers.all),
+        {
+            "center_trees": center_trees,
+            "hierarchy": centers,
+            "landmarks": landmarks.union,
+            "landmark_trees": landmark_trees,
+            "scale": scale,
+            "small_through": small_through,
+        },
+        workers=workers,
+    )
     timings["aux_tables"] = (
         timings.get("aux_tables", 0.0) + time.perf_counter() - start
     )
 
-    # Sections 8.1, 8.3 and assembly, per source.
+    # Sections 8.1, 8.3 and assembly, per source.  Workers report their
+    # own tables/assembly split; summing preserves the serial semantics.
+    assembled = run_sharded(
+        assemble_task,
+        sources,
+        {
+            "graph": graph,
+            "scale": scale,
+            "landmarks": landmarks,
+            "landmark_trees": landmark_trees,
+            "centers": centers,
+            "center_trees": center_trees,
+            "center_to_landmark": center_to_landmark,
+            "near_small": near_small,
+            "source_trees": source_trees,
+        },
+        workers=workers,
+    )
     tables: Dict[int, PerSourceLandmarkTable] = {}
     for source in sources:
-        tables[source] = _assemble_for_source(
-            graph=graph,
-            scale=scale,
-            source=source,
-            source_tree=source_trees[source],
-            landmarks=landmarks,
-            landmark_trees=landmark_trees,
-            centers=centers,
-            center_trees=center_trees,
-            center_to_landmark=center_to_landmark,
-            near_small=near_small[source],
-            timings=timings,
-        )
+        table, source_timings = assembled[source]
+        tables[source] = table
+        for key, seconds in source_timings.items():
+            timings[key] = timings.get(key, 0.0) + seconds
     return SourceLandmarkTables(tables, source_trees, landmarks.union)
 
 

@@ -1,0 +1,43 @@
+"""Process-sharded execution of the per-source MSRP pipeline phases.
+
+Every expensive phase of the solver decomposes into independent units of
+work keyed by a vertex — one BFS per root, one Section 7.1 auxiliary graph
+per source, one Section 8.2 table per center, one 8.1/8.3 build plus
+assembly sweep per source — with *no* data flowing between units.  This
+package shards those key lists across a :mod:`multiprocessing` pool:
+
+* :func:`repro.parallel.pool.run_sharded` — the scheduling core.  The
+  (large, shared) inputs travel **once per worker** through the pool
+  initializer; the per-task messages carry only integer keys, and the key
+  list is split into one contiguous chunk per worker so the per-chunk
+  dispatch overhead is amortised over the whole shard.  Results merge back
+  in input-key order, so the output is byte-identical to the serial run at
+  any worker count (the tasks themselves are deterministic pure functions
+  of the shipped context).
+* :mod:`repro.parallel.tasks` — the module-level task functions (they must
+  be importable by name so the ``spawn`` start method can pickle them).
+* :mod:`repro.parallel.seeding` — tagged child-seed derivation, used to
+  hand decorrelated RNG streams to sampling phases (the Section 8 lemmas
+  assume landmark and center draws are independent) and to give per-source
+  work deterministic child seeds should it ever need randomness.
+
+Both the ``fork`` and ``spawn`` start methods are supported; see
+:func:`repro.parallel.pool.default_start_method`.
+"""
+
+from repro.parallel.pool import (
+    default_start_method,
+    resolve_workers,
+    run_sharded,
+    worker_context,
+)
+from repro.parallel.seeding import child_rng, derive_child_seed
+
+__all__ = [
+    "child_rng",
+    "default_start_method",
+    "derive_child_seed",
+    "resolve_workers",
+    "run_sharded",
+    "worker_context",
+]

@@ -1,0 +1,202 @@
+"""Chunked process-pool scheduling with a deterministic merge.
+
+The scheduling model is deliberately minimal, because the pipeline's
+parallelism is embarrassing: a phase is a pure function applied
+independently to every key of a list, with a large read-only *context*
+(graph, BFS trees, Section 8 tables) shared by all keys.
+
+* The context ships **once per worker** through the pool initializer.
+  Under the ``fork`` start method this is free — children inherit the
+  parent's memory and the initializer argument is never pickled; under
+  ``spawn`` it is pickled exactly once per worker, which is why the
+  substrates define compact ``__getstate__`` forms (typed arrays, no lazy
+  caches).
+* The key list splits into contiguous chunks — by default one chunk per
+  worker — so the per-dispatch overhead (one pickled list of ints, one
+  pickled result dict) is amortised over the whole shard.
+* Each task returns a ``{key: value}`` dict for its chunk; the merge
+  re-keys the union **in input-key order** and verifies completeness, so
+  the merged mapping is byte-identical to what the serial loop would have
+  produced regardless of worker count, chunking or completion order.
+
+``run_sharded`` degrades to an in-process call of the *same* task function
+when sharding cannot help (``workers <= 1``, a single key, or already
+inside a pool worker), so serial and parallel runs execute identical code
+on identical inputs — the determinism guarantee is structural, not tested
+into existence.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.exceptions import InternalInvariantError, InvalidParameterError
+
+#: Environment variable overriding the default start method (fork/spawn).
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+#: The shared context installed by the pool initializer (or by the
+#: in-process serial fallback).  Thread-local rather than a module global:
+#: pool workers are single-threaded so the initializer and the tasks share
+#: one slot, while concurrent serial solves in threads of one process (the
+#: graph layer advertises thread-safety) each see their own context.
+_TLS = threading.local()
+
+
+def _install_context(context: Any) -> None:
+    """Pool initializer: stash the phase context in the worker process."""
+    _TLS.context = context
+
+
+def worker_context() -> Any:
+    """The context of the sharded phase currently executing.
+
+    Task functions call this instead of receiving the (large) context per
+    task; it is populated exactly once per worker process by the pool
+    initializer, and transiently in-process for serial fallback runs.
+    """
+    context = getattr(_TLS, "context", None)
+    if context is None:
+        raise InternalInvariantError(
+            "worker_context() called outside a sharded phase"
+        )
+    return context
+
+
+def default_start_method() -> str:
+    """The start method ``run_sharded`` uses when none is passed.
+
+    ``fork`` when the platform offers it (context transfer is free — the
+    children inherit the parent's memory), otherwise ``spawn``.  The
+    ``REPRO_MP_START_METHOD`` environment variable overrides the choice,
+    which is how the test battery pins the spawn path on fork platforms.
+    """
+    env = os.environ.get(START_METHOD_ENV)
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def resolve_workers(workers: int, num_keys: int) -> int:
+    """Effective pool size for ``workers`` over ``num_keys`` keys.
+
+    ``0`` and ``1`` mean serial; pool workers themselves always resolve to
+    serial (nested pools are both illegal for daemonic processes and
+    pointless).  The count is clamped to the number of keys but **not** to
+    ``os.cpu_count()``: oversubscription only costs time, never changes
+    results, and the fingerprint-equality tests rely on being able to ask
+    for 4 workers on any machine.
+    """
+    if workers < 0:
+        raise InvalidParameterError(f"workers must be non-negative, got {workers}")
+    if workers <= 1 or num_keys <= 1:
+        return 0
+    if multiprocessing.current_process().daemon:
+        return 0
+    return min(workers, num_keys)
+
+
+def chunk_keys(keys: Sequence[Hashable], num_chunks: int) -> List[List[Hashable]]:
+    """Split ``keys`` into ``num_chunks`` contiguous, size-balanced chunks.
+
+    Sizes differ by at most one, earlier chunks taking the extra element;
+    concatenating the chunks reproduces ``keys`` exactly (the merge relies
+    on nothing but this, and it makes the split easy to reason about).
+    """
+    if num_chunks <= 0:
+        raise InvalidParameterError(f"num_chunks must be positive, got {num_chunks}")
+    total = len(keys)
+    base, extra = divmod(total, num_chunks)
+    chunks: List[List[Hashable]] = []
+    start = 0
+    for i in range(num_chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        chunks.append(list(keys[start : start + size]))
+        start += size
+    return chunks
+
+
+def run_sharded(
+    task: Callable[[Sequence[Hashable]], Dict[Hashable, Any]],
+    keys: Sequence[Hashable],
+    context: Any,
+    workers: int = 0,
+    start_method: Optional[str] = None,
+    chunks_per_worker: int = 1,
+) -> Dict[Hashable, Any]:
+    """Apply ``task`` to ``keys``, sharded across a process pool.
+
+    Parameters
+    ----------
+    task:
+        A **module-level** function (so ``spawn`` can pickle it by name)
+        taking a chunk of keys and returning ``{key: result}`` for exactly
+        that chunk.  It reads the shared inputs via :func:`worker_context`.
+    keys:
+        The work units.  Order defines the merge order of the result.
+    context:
+        The read-only shared inputs, shipped once per worker.
+    workers:
+        Requested worker count; ``0``/``1`` run the task in-process.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; defaults to
+        :func:`default_start_method`.
+    chunks_per_worker:
+        Scheduling granularity.  ``1`` (default) minimises transfer —
+        one chunk per worker; larger values trade dispatch overhead for
+        load balancing when per-key costs are skewed.
+
+    Returns
+    -------
+    dict
+        ``{key: result}`` in ``keys`` order — byte-identical to the serial
+        run at any worker count.
+    """
+    key_list = list(keys)
+    pool_size = resolve_workers(workers, len(key_list))
+    if pool_size == 0:
+        return _run_serial(task, key_list, context)
+
+    num_chunks = min(len(key_list), pool_size * max(1, chunks_per_worker))
+    chunks = chunk_keys(key_list, num_chunks)
+    ctx = multiprocessing.get_context(start_method or default_start_method())
+    with ctx.Pool(
+        processes=pool_size,
+        initializer=_install_context,
+        initargs=(context,),
+    ) as pool:
+        partials = pool.map(task, chunks)
+
+    merged: Dict[Hashable, Any] = {}
+    for partial in partials:
+        merged.update(partial)
+    missing = [key for key in key_list if key not in merged]
+    if missing or len(merged) != len(key_list):
+        raise InternalInvariantError(
+            f"sharded task {getattr(task, '__name__', task)!r} returned "
+            f"{len(merged)} results for {len(key_list)} keys "
+            f"(missing: {missing[:5]})"
+        )
+    # Re-key in input order: the merged mapping iterates exactly like the
+    # serial loop's would, so downstream fingerprints cannot drift.
+    return {key: merged[key] for key in key_list}
+
+
+def _run_serial(
+    task: Callable[[Sequence[Hashable]], Dict[Hashable, Any]],
+    keys: List[Hashable],
+    context: Any,
+) -> Dict[Hashable, Any]:
+    """In-process fallback: same task, same context plumbing, no pool."""
+    previous = getattr(_TLS, "context", None)
+    _TLS.context = context
+    try:
+        return task(keys)
+    finally:
+        _TLS.context = previous

@@ -1,0 +1,150 @@
+"""Module-level task functions for the sharded pipeline phases.
+
+Each function here is the per-chunk body of one
+:func:`repro.parallel.pool.run_sharded` phase: it reads the phase's shared
+inputs from :func:`~repro.parallel.pool.worker_context` and returns a
+``{key: result}`` dict for the chunk it was handed.  They live at module
+scope (not as closures or methods) because the ``spawn`` start method
+pickles task functions by qualified name.
+
+Every task is a deterministic pure function of (context, keys): no task
+consumes randomness, mutates the context, or depends on sibling keys, which
+is what makes the sharded merge byte-identical to the serial loop.  Workers
+run strictly serial code — ``resolve_workers`` returns 0 inside a pool
+worker, so a task can safely call helpers that themselves accept a
+``workers`` knob.
+
+Imports of :mod:`repro.core.msrp` and :mod:`repro.multisource.pipeline`
+are deferred into the task bodies: those modules are the *call sites* of
+the scheduler, and keeping the arrows one-directional at import time avoids
+a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.core.near_small import compute_near_small_tables
+from repro.graph.csr import bfs_tree_csr
+from repro.multisource.tables import compute_center_to_landmark_tables
+from repro.parallel.pool import worker_context
+
+
+def bfs_roots_task(roots: Sequence[int]) -> Dict[int, Any]:
+    """One BFS tree per root over the shared CSR graph.
+
+    Context: ``{"graph": CSRGraph, "forbidden_edge": Optional[Edge]}``.
+    """
+    ctx = worker_context()
+    graph = ctx["graph"]
+    forbidden_edge = ctx["forbidden_edge"]
+    return {
+        root: bfs_tree_csr(graph, root, forbidden_edge=forbidden_edge)
+        for root in roots
+    }
+
+
+def near_small_task(sources: Sequence[int]) -> Dict[int, Any]:
+    """Section 7.1 auxiliary build per source.
+
+    Context: ``{"graph", "trees", "scale", "with_paths"}``.
+    """
+    ctx = worker_context()
+    graph = ctx["graph"]
+    trees = ctx["trees"]
+    scale = ctx["scale"]
+    with_paths = ctx["with_paths"]
+    return {
+        source: compute_near_small_tables(
+            graph, source, trees[source], scale, with_paths=with_paths
+        )
+        for source in sources
+    }
+
+
+def center_tables_task(centers: Sequence[int]) -> Dict[int, Any]:
+    """Section 8.2 table ``d(c, r, e)`` per center.
+
+    Context: ``{"center_trees", "hierarchy", "landmarks", "landmark_trees",
+    "scale", "small_through"}``.
+    """
+    ctx = worker_context()
+    center_trees = ctx["center_trees"]
+    hierarchy = ctx["hierarchy"]
+    landmarks = ctx["landmarks"]
+    landmark_trees = ctx["landmark_trees"]
+    scale = ctx["scale"]
+    small_through = ctx["small_through"]
+    return {
+        center: compute_center_to_landmark_tables(
+            center=center,
+            center_tree=center_trees[center],
+            priority=hierarchy.priority_of(center),
+            landmarks=landmarks,
+            landmark_trees=landmark_trees,
+            scale=scale,
+            small_through=small_through.get(center),
+        )
+        for center in centers
+    }
+
+
+def assemble_task(
+    sources: Sequence[int],
+) -> Dict[int, Tuple[Any, Dict[str, float]]]:
+    """Sections 8.1 + 8.3 + per-edge assembly for one source each.
+
+    Context: ``{"graph", "scale", "landmarks", "landmark_trees", "centers",
+    "center_trees", "center_to_landmark", "near_small", "source_trees"}``.
+    Returns ``{source: (PerSourceLandmarkTable, timings)}`` where
+    ``timings`` is the worker-local ``aux_tables``/``aux_assembly`` split
+    for that source (the parent sums them into its phase accounting).
+    """
+    from repro.multisource.pipeline import _assemble_for_source
+
+    ctx = worker_context()
+    results: Dict[int, Tuple[Any, Dict[str, float]]] = {}
+    for source in sources:
+        timings: Dict[str, float] = {}
+        table = _assemble_for_source(
+            graph=ctx["graph"],
+            scale=ctx["scale"],
+            source=source,
+            source_tree=ctx["source_trees"][source],
+            landmarks=ctx["landmarks"],
+            landmark_trees=ctx["landmark_trees"],
+            centers=ctx["centers"],
+            center_trees=ctx["center_trees"],
+            center_to_landmark=ctx["center_to_landmark"],
+            near_small=ctx["near_small"][source],
+            timings=timings,
+        )
+        results[source] = (table, timings)
+    return results
+
+
+def solve_sources_task(sources: Sequence[int]) -> Dict[int, Any]:
+    """Final assembly sweep (`solve_single_source`) per source.
+
+    Context: ``{"source_trees", "near_small_tables", "scale", "far_solver",
+    "large_solver"}``.
+    """
+    from repro.core.msrp import solve_single_source
+
+    ctx = worker_context()
+    source_trees = ctx["source_trees"]
+    near_small_tables = ctx["near_small_tables"]
+    scale = ctx["scale"]
+    far_solver = ctx["far_solver"]
+    large_solver = ctx["large_solver"]
+    return {
+        source: solve_single_source(
+            source,
+            source_trees[source],
+            near_small_tables[source],
+            scale,
+            far_solver,
+            large_solver,
+        )
+        for source in sources
+    }

@@ -384,6 +384,31 @@ class InternedAuxiliaryGraph:
         """The original tuple node behind a dense id."""
         return self._nodes[node_id]
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        """Ship the intern table and the typed arc arrays, nothing derived.
+
+        The ``node -> id`` dict is the inverse of the intern table (ids are
+        assigned densely in append order), so it is rebuilt on restore
+        rather than serialised; the compiled CSR triple is a cache and
+        recompiles lazily on the first post-restore Dijkstra run.  The arc
+        arrays pickle as raw typed buffers (4/4/8 bytes per arc), which is
+        what keeps shipping an auxiliary graph to a pool worker cheap.
+        """
+        return (self._nodes, self._arc_src, self._arc_dst, self._arc_w)
+
+    def __setstate__(self, state) -> None:
+        nodes, arc_src, arc_dst, arc_w = state
+        self._nodes = nodes
+        self._ids = {node: i for i, node in enumerate(nodes)}
+        self._arc_src = arc_src
+        self._arc_dst = arc_dst
+        self._arc_w = arc_w
+        self._csr_offsets = None
+        self._csr_dst = None
+        self._csr_w = None
+
     def id_of(self, node: Node) -> Optional[int]:
         """The dense id of ``node`` (``None`` when never interned)."""
         return self._ids.get(node)

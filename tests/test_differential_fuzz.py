@@ -63,7 +63,9 @@ FAST_SEEDS = range(3)
 SLOW_SEEDS = range(100, 150)  # ~50 seeds per generator for the nightly job
 
 
-def _check_pipeline_matches_bruteforce(name: str, seed: int) -> None:
+def _check_pipeline_matches_bruteforce(
+    name: str, seed: int, workers: int = 0
+) -> None:
     graph = GENERATORS[name](seed)
     rng = random.Random(seed)
     count = min(3, max(1, graph.num_vertices))
@@ -71,13 +73,13 @@ def _check_pipeline_matches_bruteforce(name: str, seed: int) -> None:
     result = multiple_source_replacement_paths(
         graph,
         sources,
-        params=AlgorithmParams(seed=seed),
+        params=AlgorithmParams(seed=seed, workers=workers),
         landmark_strategy="auxiliary",
     )
     reference = brute_force_multi_source(graph, sources)
     mismatches = result.differences_from(reference)
     assert not mismatches, (
-        f"{name}/seed={seed}: {len(mismatches)} mismatches, "
+        f"{name}/seed={seed}/workers={workers}: {len(mismatches)} mismatches, "
         f"first: {mismatches[:3]}"
     )
 
@@ -221,9 +223,16 @@ def test_dense_tables_match_references():
 @pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(GENERATORS))
 def test_auxiliary_pipeline_matches_bruteforce_sweep(name):
-    """~50 seeded graphs per generator through the full pipeline."""
+    """~50 seeded graphs per generator through the full pipeline.
+
+    The seed also toggles the process-sharded path (``workers`` cycles
+    through 0/2/3), so the parallel merge is fuzzed against the serial
+    brute-force oracle on the same instances the nightly job already
+    sweeps.
+    """
     for seed in SLOW_SEEDS:
-        _check_pipeline_matches_bruteforce(name, seed)
+        workers = (0, 2, 3)[seed % 3]
+        _check_pipeline_matches_bruteforce(name, seed, workers=workers)
 
 
 @pytest.mark.slow

@@ -1,0 +1,188 @@
+"""Pickle round-trip equivalence battery for the compiled substrates.
+
+The process-sharded pipeline (:mod:`repro.parallel`) ships graphs, trees
+and auxiliary graphs across process boundaries — under ``spawn`` every
+context object is pickled once per worker, and every task result is
+pickled on the way back.  These tests pin the contract the scheduler
+relies on: a round-tripped substrate answers **every** query identically
+to the original, lazy caches are dropped (not silently shipped) and
+rebuild on demand, and the ``math.inf`` singleton identity the hot paths
+test with ``is`` survives restoration.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.csr import CSRGraph, bfs_distances_csr, bfs_tree_csr
+from repro.graph.graph import Graph
+from repro.rp.dijkstra import (
+    AuxiliaryGraphBuilder,
+    InternedAuxiliaryGraph,
+    dijkstra,
+    reconstruct_path,
+)
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+@pytest.fixture
+def graph() -> Graph:
+    return generators.random_connected_graph(28, extra_edges=40, seed=7)
+
+
+class TestGraphPickle:
+    def test_equality_and_queries(self, graph):
+        copy = roundtrip(graph)
+        assert copy == graph
+        assert copy.num_vertices == graph.num_vertices
+        assert copy.edges() == graph.edges()
+        for v in graph.vertices():
+            assert copy.neighbors(v) == graph.neighbors(v)
+        u, v = graph.edges()[0]
+        assert copy.has_edge(u, v) and copy.has_edge(v, u)
+        assert not copy.has_edge(0, 0)
+
+    def test_csr_cache_dropped_and_rebuilt(self, graph):
+        graph.csr()  # materialise the cache on the original
+        copy = roundtrip(graph)
+        assert copy._csr is None
+        assert bfs_distances_csr(copy, 0) == bfs_distances_csr(graph, 0)
+
+    def test_disconnected_graph(self):
+        g = Graph(5, [(0, 1), (3, 4)])
+        copy = roundtrip(g)
+        assert copy == g
+        assert bfs_distances_csr(copy, 0) == bfs_distances_csr(g, 0)
+
+
+class TestCSRGraphPickle:
+    def test_rows_and_flat_arrays(self, graph):
+        csr = graph.csr()
+        _ = csr.offsets  # materialise the lazy flat pair
+        copy = roundtrip(csr)
+        assert copy.rows == csr.rows
+        assert copy._offsets is None  # dropped, rebuilds lazily
+        assert list(copy.offsets) == list(csr.offsets)
+        assert list(copy.neighbors) == list(csr.neighbors)
+        assert copy.has_edge(*graph.edges()[0])
+
+    def test_traversal_equivalence(self, graph):
+        csr = graph.csr()
+        copy = roundtrip(csr)
+        for root in (0, 5, 17):
+            ours = bfs_tree_csr(copy, root)
+            theirs = bfs_tree_csr(csr, root)
+            assert ours.dist == theirs.dist
+            assert ours.parent == theirs.parent
+            assert ours.order == theirs.order
+
+
+class TestShortestPathTreePickle:
+    def test_without_structural_caches(self, graph):
+        tree = bfs_tree_csr(graph, 0)
+        assert not tree.has_structural_cache
+        copy = roundtrip(tree)
+        assert not copy.has_structural_cache
+        assert copy.dist == tree.dist
+        assert copy.parent == tree.parent
+        assert copy.order == tree.order
+
+    def test_with_structural_caches_materialised(self, graph):
+        tree = bfs_tree_csr(graph, 3)
+        tree.euler_intervals()
+        tree.edge_child_map()
+        tree.children(3)
+        tree.preorder()
+        assert tree.has_structural_cache
+        copy = roundtrip(tree)
+        # Caches are dropped on the wire and rebuilt on demand ...
+        assert not copy.has_structural_cache
+        # ... with identical answers to the original's cached structures.
+        for v in range(graph.num_vertices):
+            assert copy.distance(v) == tree.distance(v)
+            assert copy.is_reachable(v) == tree.is_reachable(v)
+            assert copy.children(v) == tree.children(v)
+            assert copy.subtree_size(v) == tree.subtree_size(v)
+            if tree.is_reachable(v):
+                assert copy.path_to(v) == tree.path_to(v)
+        assert copy.preorder() == tree.preorder()
+        for edge in graph.edges():
+            assert copy.edge_child(edge) == tree.edge_child(edge)
+            for target in (0, 9, 20):
+                assert copy.tree_path_uses_edge(edge, target) == (
+                    tree.tree_path_uses_edge(edge, target)
+                )
+                assert copy.distance_avoiding(edge, target) == (
+                    tree.distance_avoiding(edge, target)
+                )
+
+    def test_inf_singleton_identity_restored(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        tree = bfs_tree_csr(g, 0)
+        copy = roundtrip(tree)
+        # Hot paths use ``dist[v] is math.inf`` for unreachability; a plain
+        # unpickle would produce a *different* inf object and silently turn
+        # those tests false.
+        assert copy.dist[3] is math.inf
+        assert copy.dist[4] is math.inf
+        assert copy.distance_avoiding((0, 1), 3) is math.inf
+
+
+class TestInternedAuxiliaryGraphPickle:
+    def _build(self):
+        aux = InternedAuxiliaryGraph()
+        ref = AuxiliaryGraphBuilder()
+        edges = [
+            (("s",), ("v", 1), 0.0),
+            (("s",), ("v", 2), 2.0),
+            (("v", 1), ("ve", 3, (1, 3)), 1.0),
+            (("v", 2), ("ve", 3, (1, 3)), 1.0),
+            (("ve", 3, (1, 3)), ("ve", 4, (3, 4)), 1.0),
+            (("v", 2), ("v", 1), 5.0),
+        ]
+        for u, v, w in edges:
+            aux.add_edge(u, v, w)
+            ref.add_edge(u, v, w)
+        return aux, ref
+
+    def test_distances_and_paths_after_roundtrip(self):
+        aux, ref = self._build()
+        copy = roundtrip(aux)
+        ref_dist, ref_pred = dijkstra(ref.adjacency(), ("s",), with_predecessors=True)
+        dist, pred = copy.dijkstra(("s",), with_predecessors=True)
+        assert dist.to_dict() == ref_dist
+        target = ("ve", 4, (3, 4))
+        assert reconstruct_path(pred, ("s",), target) == reconstruct_path(
+            ref_pred, ("s",), target
+        )
+
+    def test_compiled_csr_dropped_and_recompiled(self):
+        aux, _ = self._build()
+        before = aux.dijkstra(("s",))[0].to_dict()
+        offsets, targets, weights = aux.compiled_csr()
+        copy = roundtrip(aux)
+        assert copy._csr_offsets is None  # cache dropped on the wire
+        c_offsets, c_targets, c_weights = copy.compiled_csr()
+        assert list(c_offsets) == list(offsets)
+        assert list(c_targets) == list(targets)
+        assert list(c_weights) == list(weights)
+        assert copy.dijkstra(("s",))[0].to_dict() == before
+
+    def test_intern_table_rebuilt(self):
+        aux, _ = self._build()
+        copy = roundtrip(aux)
+        assert copy.num_nodes == aux.num_nodes
+        assert copy.num_edges == aux.num_edges
+        for node_id in range(aux.num_nodes):
+            node = aux.node_of(node_id)
+            assert copy.node_of(node_id) == node
+            assert copy.id_of(node) == node_id
+        # Interning after restore continues the dense id sequence.
+        assert copy.intern(("new",)) == aux.num_nodes

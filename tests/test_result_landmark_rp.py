@@ -70,6 +70,60 @@ class TestReplacementPathResult:
         result = multiple_source_replacement_paths(g, [0], params=AlgorithmParams(seed=1))
         assert result.replacement_length(0, 3, (2, 3)) is math.inf
 
+    def test_nonexistent_edge_rejected(self, result):
+        # Regression: a pair that is not an edge of the graph at all used to
+        # fall into the "not on the canonical path" branch and silently
+        # return the intact tree distance d(s, t).
+        with pytest.raises(InvalidParameterError):
+            result.replacement_length(0, 3, (13, 17))  # endpoints not vertices
+        with pytest.raises(InvalidParameterError):
+            result.replacement_length(0, 3, (0, 2))  # vertices, but no edge
+
+    def test_nonexistent_edge_rejected_without_graph(self):
+        # Results built without a graph reference can still reject pairs
+        # whose endpoints fall outside the vertex range.
+        g = generators.path_graph(4)
+        tree = bfs_tree(g, 0)
+        result = ReplacementPathResult({0: {3: {}}}, {0: tree})
+        with pytest.raises(InvalidParameterError):
+            result.replacement_length(0, 3, (13, 17))
+
+    def test_integer_like_source_and_target_coerced(self, result):
+        # Regression: accessors must coerce targets the way the constructor
+        # coerces source keys, so integer-like values (bool, numpy-style
+        # scalars) address the stored entries instead of silently falling
+        # into the "not stored" branch.
+        class IntLike:
+            """Stand-in for a numpy integer scalar: int()-able, odd hash."""
+
+            def __init__(self, value):
+                self._value = value
+
+            def __int__(self):
+                return self._value
+
+            def __index__(self):
+                return self._value
+
+        path = result.canonical_path(0, 3)
+        edge = (path[0], path[1])
+        expected = result.replacement_length(0, 3, edge)
+        assert result.replacement_length(IntLike(0), IntLike(3), edge) == expected
+        assert result.replacement_lengths(0, IntLike(3)) == (
+            result.replacement_lengths(0, 3)
+        )
+        assert result.targets(IntLike(0)) == result.targets(0)
+        assert result.distance(IntLike(0), IntLike(3)) == result.distance(0, 3)
+        # bool is the sneakiest integer-like: True must mean target 1.
+        assert result.replacement_lengths(0, True) == result.replacement_lengths(0, 1)
+
+    def test_fractional_indices_rejected(self, result):
+        # Coercion must not silently truncate: 0.7 is not a vertex id.
+        with pytest.raises(TypeError):
+            result.distance(0.7, 3)
+        with pytest.raises(TypeError):
+            result.distance(0, 3.5)
+
 
 class TestSourceLandmarkTables:
     def test_direct_tables_match_per_edge_bfs(self):
