@@ -51,11 +51,15 @@ def sparse_workload(num_vertices: int, seed: int):
     return random_connected_graph(num_vertices, extra_edges=2 * num_vertices, seed=seed)
 
 
-def run_key(n: int, sigma: int, strategy: str, workers: int = 0) -> str:
-    """Stable row key; serial rows keep the historical key (baselines diff)."""
+def run_key(
+    n: int, sigma: int, strategy: str, workers: int = 0, pool_reuse: bool = True
+) -> str:
+    """Stable row key; serial and reuse-on rows keep historical keys."""
     key = f"n={n},sigma={sigma},strategy={strategy}"
     if workers:
         key += f",workers={workers}"
+        if not pool_reuse:
+            key += ",pool_reuse=off"
     return key
 
 
@@ -89,7 +93,12 @@ def fingerprint(result) -> Dict[str, float]:
 
 
 def run_one(
-    n: int, sigma: int, strategy: str, repeat: int, workers: int = 0
+    n: int,
+    sigma: int,
+    strategy: str,
+    repeat: int,
+    workers: int = 0,
+    pool_reuse: bool = True,
 ) -> Dict:
     """Run one configuration ``repeat`` times and keep the best wall time."""
     graph = sparse_workload(n, seed=n)
@@ -100,7 +109,7 @@ def run_one(
         solver = MSRPSolver(
             graph,
             sources,
-            params=AlgorithmParams(seed=n, workers=workers),
+            params=AlgorithmParams(seed=n, workers=workers, pool_reuse=pool_reuse),
             landmark_strategy=strategy,
         )
         start = time.perf_counter()
@@ -108,11 +117,12 @@ def run_one(
         wall = time.perf_counter() - start
         if best is None or wall < best["wall_seconds"]:
             best = {
-                "key": run_key(n, sigma, strategy, workers),
+                "key": run_key(n, sigma, strategy, workers, pool_reuse),
                 "n": n,
                 "sigma": sigma,
                 "strategy": strategy,
                 "workers": workers,
+                "pool_reuse": bool(pool_reuse),
                 "sources": sources,
                 "num_edges": graph.num_edges,
                 "wall_seconds": wall,
@@ -130,51 +140,64 @@ def run_suite(
     strategy: str,
     repeat: int,
     workers_list: Optional[List[int]] = None,
+    pool_reuse_modes: Optional[List[bool]] = None,
     verbose: bool = True,
 ) -> List[Dict]:
-    """One row per (size, worker count); serial rows keep historical keys.
+    """One row per (size, worker count, pool-reuse mode).
 
-    Worker-count rows of the same size must report identical fingerprints —
-    that is the determinism contract of :mod:`repro.parallel`, and
-    :func:`main` enforces it after the suite runs.
+    Serial and reuse-on rows keep historical keys so baselines keep
+    diffing; reuse-off rows (``pool_reuse_modes`` including ``False``)
+    re-run the worker configurations with one pool per sharded phase, so
+    the trajectory records the per-phase pool start-up overhead that
+    :class:`~repro.parallel.WorkerPool` reuse removes.  All rows of a
+    size must report identical fingerprints — that is the determinism
+    contract of :mod:`repro.parallel`, and :func:`main` enforces it after
+    the suite runs.
     """
     workers_list = workers_list if workers_list is not None else [0]
+    pool_reuse_modes = pool_reuse_modes if pool_reuse_modes is not None else [True]
     runs = []
     for n in sizes:
         for workers in workers_list:
-            run = run_one(n, sigma, strategy, repeat, workers=workers)
-            runs.append(run)
-            if verbose:
-                phases = ", ".join(
-                    f"{name}={seconds:.3f}s"
-                    for name, seconds in sorted(
-                        run["phase_seconds"].items(), key=lambda kv: -kv[1]
-                    )
+            # Pool reuse only matters once phases actually shard; serial
+            # rows run once regardless of the requested modes.
+            modes = [True] if workers == 0 else pool_reuse_modes
+            for pool_reuse in modes:
+                run = run_one(
+                    n, sigma, strategy, repeat, workers=workers, pool_reuse=pool_reuse
                 )
-                print(f"{run['key']}: {run['wall_seconds']:.3f}s  ({phases})")
-                breakdown = run["aux_breakdown"]
-                if any(breakdown.values()):
-                    print(
-                        "  aux breakdown: "
-                        + ", ".join(
-                            f"{name}={seconds:.3f}s"
-                            for name, seconds in breakdown.items()
+                runs.append(run)
+                if verbose:
+                    phases = ", ".join(
+                        f"{name}={seconds:.3f}s"
+                        for name, seconds in sorted(
+                            run["phase_seconds"].items(), key=lambda kv: -kv[1]
                         )
                     )
+                    print(f"{run['key']}: {run['wall_seconds']:.3f}s  ({phases})")
+                    breakdown = run["aux_breakdown"]
+                    if any(breakdown.values()):
+                        print(
+                            "  aux breakdown: "
+                            + ", ".join(
+                                f"{name}={seconds:.3f}s"
+                                for name, seconds in breakdown.items()
+                            )
+                        )
     return runs
 
 
 def check_worker_fingerprints(runs: List[Dict]) -> None:
-    """Fail loudly if any worker count computed something different."""
+    """Fail loudly if any worker count / pool-reuse mode diverged."""
     by_config: Dict[str, Dict] = {}
     for run in runs:
         config = run_key(run["n"], run["sigma"], run["strategy"])
         reference = by_config.setdefault(config, run)
         if run["fingerprint"] != reference["fingerprint"]:
             raise AssertionError(
-                f"fingerprint diverged across worker counts for {config}: "
-                f"workers={reference['workers']} -> {reference['fingerprint']}, "
-                f"workers={run['workers']} -> {run['fingerprint']}"
+                f"fingerprint diverged across worker configurations for "
+                f"{config}: {reference['key']} -> {reference['fingerprint']}, "
+                f"{run['key']} -> {run['fingerprint']}"
             )
 
 
@@ -230,6 +253,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--pool-reuse",
+        choices=("on", "off", "both"),
+        default="on",
+        metavar="MODE",
+        help=(
+            "pool lifecycle for worker rows: 'on' (default) reuses one "
+            "WorkerPool per solve, 'off' opens one pool per sharded phase "
+            "(the historical scheduling), 'both' records a row per mode so "
+            "the trajectory captures the pool start-up overhead"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         metavar="PATH",
         help="previous JSON report to embed and compute speedups against",
@@ -245,8 +280,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         FAST_SIZES if args.fast else DEFAULT_SIZES
     )
     workers_list = args.workers if args.workers else [0]  # [] would emit no rows
+    pool_reuse_modes = {"on": [True], "off": [False], "both": [True, False]}[
+        args.pool_reuse
+    ]
     runs = run_suite(
-        sizes, args.sigma, args.strategy, max(1, args.repeat), workers_list
+        sizes,
+        args.sigma,
+        args.strategy,
+        max(1, args.repeat),
+        workers_list,
+        pool_reuse_modes,
     )
     check_worker_fingerprints(runs)
 
@@ -262,6 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "repeat": max(1, args.repeat),
             "fast": bool(args.fast),
             "workers": workers_list,
+            "pool_reuse": args.pool_reuse,
         },
         "runs": runs,
     }

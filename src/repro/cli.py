@@ -50,6 +50,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "(0 = serial; output is byte-identical at any worker count)"
         ),
     )
+    common.add_argument(
+        "--no-pool-reuse",
+        action="store_true",
+        help=(
+            "open a fresh process pool per sharded phase instead of one "
+            "pool per solve (the historical scheduling; for overhead "
+            "comparisons — output is identical either way)"
+        ),
+    )
 
     ssrp = sub.add_parser("ssrp", parents=[common], help="single source replacement paths")
     ssrp.add_argument("--source", type=int, default=0)
@@ -70,7 +79,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _run_solver(args: argparse.Namespace, sources: Sequence[int], strategy: str) -> int:
     graph = generators.random_connected_graph(args.n, args.extra_edges, seed=args.seed)
-    params = AlgorithmParams(seed=args.seed, verify=args.verify, workers=args.workers)
+    params = AlgorithmParams(
+        seed=args.seed,
+        verify=args.verify,
+        workers=args.workers,
+        pool_reuse=not args.no_pool_reuse,
+    )
     solver = MSRPSolver(graph, sources, params=params, landmark_strategy=strategy)
     result = solver.solve()
     print(f"graph: n={graph.num_vertices} m={graph.num_edges} sigma={len(solver.sources)}")

@@ -27,7 +27,8 @@ from __future__ import annotations
 import math
 import random
 import time
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from repro.core.far_edges import FarEdgeSolver
 from repro.core.landmark_rp import SourceLandmarkTables, compute_direct_tables
@@ -40,7 +41,7 @@ from repro.exceptions import InternalInvariantError, InvalidParameterError
 from repro.graph.csr import bfs_many
 from repro.graph.graph import Graph
 from repro.graph.tree import ShortestPathTree
-from repro.parallel import run_sharded
+from repro.parallel import WorkerPool, run_sharded
 
 #: Valid values of the ``landmark_strategy`` argument.
 LANDMARK_STRATEGIES = ("direct", "auxiliary")
@@ -96,11 +97,46 @@ class MSRPSolver:
         self.near_small_tables: Dict[int, NearSmallTables] = {}
         #: wall-clock seconds per phase, filled in as the solver runs
         self.phase_seconds: Dict[str, float] = {}
+        #: the WorkerPool spanning the current solve, while one is open
+        self._pool: Optional[WorkerPool] = None
 
     # -- pipeline --------------------------------------------------------------
 
+    @contextmanager
+    def _pool_scope(self) -> Iterator[Optional[WorkerPool]]:
+        """One :class:`~repro.parallel.WorkerPool` spanning the whole solve.
+
+        Every sharded phase of the pipeline (BFS fan-out, Section 7.1 and
+        8.1-8.3 builds, assembly sweep, brute-force verification) runs on
+        the same pool, each new phase context broadcast into the already-
+        running workers — one pool start-up per solve instead of one per
+        phase.  Yields ``None`` when sharding is off (``workers <= 1``) or
+        pool reuse is disabled (``params.pool_reuse=False``, the historical
+        one-pool-per-phase scheduling); re-entrant, so ``solve()`` calling
+        ``preprocess()`` shares the outer scope's pool.
+        """
+        if (
+            self._pool is not None
+            or self.params.workers <= 1
+            or not self.params.pool_reuse
+        ):
+            yield self._pool
+            return
+        pool = WorkerPool(self.params.workers)
+        self._pool = pool
+        try:
+            with pool:
+                yield pool
+        finally:
+            self._pool = None
+
     def preprocess(self) -> "MSRPSolver":
         """Run the preprocessing phase (Sections 5 and 8)."""
+        with self._pool_scope():
+            self._preprocess()
+        return self
+
+    def _preprocess(self) -> None:
         rng = random.Random(self.params.seed)
 
         start = time.perf_counter()
@@ -115,10 +151,15 @@ class MSRPSolver:
         # One batched sweep over the CSR kernel: the flat form is compiled
         # once and shared by every root, and a landmark that is also a
         # source reuses the same tree object.  With ``params.workers`` the
-        # root fan-out shards across the process pool.
+        # root fan-out shards across the solve's shared process pool.
         workers = self.params.workers
         landmark_roots = sorted(self.landmarks.union)
-        trees = bfs_many(self.graph, self.sources + landmark_roots, workers=workers)
+        trees = bfs_many(
+            self.graph,
+            self.sources + landmark_roots,
+            workers=workers,
+            pool=self._pool,
+        )
         self.source_trees = {s: trees[s] for s in self.sources}
         self.landmark_trees = {r: trees[r] for r in landmark_roots}
         self.phase_seconds["bfs_trees"] = time.perf_counter() - start
@@ -140,9 +181,9 @@ class MSRPSolver:
                 "with_paths": False,
             },
             workers=workers,
+            pool=self._pool,
         )
         self.phase_seconds["near_small_auxiliary"] = time.perf_counter() - start
-        return self
 
     def _compute_landmark_tables(self, rng: random.Random) -> SourceLandmarkTables:
         if self.landmark_strategy == "direct":
@@ -163,46 +204,56 @@ class MSRPSolver:
             rng=rng,
             phase_seconds=self.phase_seconds,
             workers=self.params.workers,
+            pool=self._pool,
         )
 
     def solve(self) -> ReplacementPathResult:
-        """Run the full pipeline and return the replacement-path tables."""
-        if self.landmark_tables is None:
-            self.preprocess()
+        """Run the full pipeline and return the replacement-path tables.
 
-        start = time.perf_counter()
-        far_solver = FarEdgeSolver(
-            self.scale, self.landmarks, self.landmark_trees, self.landmark_tables
-        )
-        large_solver = NearLargeSolver(
-            self.landmarks, self.landmark_trees, self.landmark_tables
-        )
+        One :class:`~repro.parallel.WorkerPool` spans the whole call —
+        preprocessing, assembly and (with ``params.verify``) the sharded
+        brute-force cross-check all reuse the same worker processes.
+        """
+        with self._pool_scope() as pool:
+            if self.landmark_tables is None:
+                self._preprocess()
 
-        from repro.parallel.tasks import solve_sources_task
+            start = time.perf_counter()
+            far_solver = FarEdgeSolver(
+                self.scale, self.landmarks, self.landmark_trees, self.landmark_tables
+            )
+            large_solver = NearLargeSolver(
+                self.landmarks, self.landmark_trees, self.landmark_tables
+            )
 
-        tables: Dict[int, PerSourceTable] = run_sharded(
-            solve_sources_task,
-            self.sources,
-            {
-                "source_trees": self.source_trees,
-                "near_small_tables": self.near_small_tables,
-                "scale": self.scale,
-                "far_solver": far_solver,
-                "large_solver": large_solver,
-            },
-            workers=self.params.workers,
-        )
-        self.phase_seconds["assembly"] = time.perf_counter() - start
+            from repro.parallel.tasks import solve_sources_task
 
-        result = ReplacementPathResult(tables, self.source_trees, graph=self.graph)
-        if self.params.verify:
-            self._verify(result)
+            tables: Dict[int, PerSourceTable] = run_sharded(
+                solve_sources_task,
+                self.sources,
+                {
+                    "source_trees": self.source_trees,
+                    "near_small_tables": self.near_small_tables,
+                    "scale": self.scale,
+                    "far_solver": far_solver,
+                    "large_solver": large_solver,
+                },
+                workers=self.params.workers,
+                pool=pool,
+            )
+            self.phase_seconds["assembly"] = time.perf_counter() - start
+
+            result = ReplacementPathResult(tables, self.source_trees, graph=self.graph)
+            if self.params.verify:
+                self._verify(result)
         return result
 
     def _verify(self, result: ReplacementPathResult) -> None:
         from repro.rp.bruteforce import brute_force_multi_source
 
-        reference = brute_force_multi_source(self.graph, self.sources)
+        reference = brute_force_multi_source(
+            self.graph, self.sources, workers=self.params.workers, pool=self._pool
+        )
         mismatches = result.differences_from(reference)
         if mismatches:
             sample = mismatches[:5]

@@ -60,8 +60,17 @@ class AlgorithmParams:
         Process count for the sharded per-source phases
         (:mod:`repro.parallel`).  ``0`` (default) and ``1`` run serially;
         any larger value shards the BFS fan-out, the Section 7.1/8.1-8.3
-        builds and the assembly sweeps across that many worker processes.
+        builds, the assembly sweeps and (under ``verify``) the brute-force
+        oracle's per-edge BFS sweep across that many worker processes.
         Output is byte-identical at every worker count.
+    pool_reuse:
+        When ``True`` (default) the solver opens one
+        :class:`~repro.parallel.WorkerPool` spanning every sharded phase of
+        a solve and re-installs each phase's context into the running
+        workers; ``False`` restores the historical one-pool-per-phase
+        scheduling (one pool start-up per sharded phase), which exists for
+        the benchmark harness' overhead comparison.  Irrelevant when
+        ``workers <= 1``; the output is identical either way.
     """
 
     sampling_constant: float = 4.0
@@ -71,6 +80,7 @@ class AlgorithmParams:
     seed: Optional[int] = None
     verify: bool = False
     workers: int = 0
+    pool_reuse: bool = True
 
     def __post_init__(self) -> None:
         if self.sampling_constant <= 0:

@@ -292,6 +292,7 @@ def bfs_many(
     roots: Iterable[int],
     forbidden_edge: Optional[Sequence[int]] = None,
     workers: int = 0,
+    pool=None,
 ) -> Dict[int, ShortestPathTree]:
     """Run one BFS per distinct root, compiling the CSR form only once.
 
@@ -307,7 +308,9 @@ def bfs_many(
     once per worker and each worker runs a contiguous chunk of roots.  The
     returned mapping is identical to the serial one — same trees, same
     first-seen key order (duplicates collapse onto one dict entry in both
-    paths).
+    paths).  Passing an open :class:`~repro.parallel.WorkerPool` via
+    ``pool`` reuses its running workers (the context is broadcast into
+    them) instead of opening a pool for just this fan-out.
 
     Returns
     -------
@@ -324,9 +327,9 @@ def bfs_many(
             seen.add(root)
             distinct.append(root)
 
-    if workers > 1:
+    if workers > 1 or pool is not None:
         # run_sharded degrades to an in-process run of the same task when
-        # sharding cannot help (single root, nested pool worker).
+        # sharding cannot help (single root, serial pool, nested worker).
         from repro.parallel import run_sharded
         from repro.parallel.tasks import bfs_roots_task
 
@@ -335,6 +338,7 @@ def bfs_many(
             distinct,
             {"graph": csr, "forbidden_edge": forbidden_edge},
             workers=workers,
+            pool=pool,
         )
 
     return {

@@ -50,7 +50,7 @@ from repro.multisource.tables import (
     compute_small_paths_through_centers,
     compute_source_to_center_tables,
 )
-from repro.parallel import child_rng, run_sharded
+from repro.parallel import WorkerPool, child_rng, run_sharded
 
 
 def compute_auxiliary_tables(
@@ -64,6 +64,7 @@ def compute_auxiliary_tables(
     centers: Optional[CenterHierarchy] = None,
     phase_seconds: Optional[Dict[str, float]] = None,
     workers: int = 0,
+    pool: Optional[WorkerPool] = None,
 ) -> SourceLandmarkTables:
     """Compute ``d(s, r, e)`` for all sources and landmarks via Section 8.
 
@@ -78,7 +79,12 @@ def compute_auxiliary_tables(
 
     ``workers`` shards the per-root/per-center/per-source phases across a
     process pool (:mod:`repro.parallel`); the returned tables are
-    byte-identical to the serial run at any worker count.
+    byte-identical to the serial run at any worker count.  Passing an open
+    :class:`~repro.parallel.WorkerPool` via ``pool`` makes every sharded
+    phase reuse its running workers (each phase context is broadcast into
+    them), so the whole Section 8 pipeline pays at most one pool start-up;
+    without it each phase opens its own one-shot pool, which is the
+    measured ~10% overhead the solver's pool-reuse mode exists to avoid.
     """
     timings = phase_seconds if phase_seconds is not None else {}
     if rng is None:
@@ -106,7 +112,7 @@ def compute_auxiliary_tables(
             center_trees[center] = landmark_trees[center]
         else:
             missing.append(center)
-    center_trees.update(bfs_many(graph, missing, workers=workers))
+    center_trees.update(bfs_many(graph, missing, workers=workers, pool=pool))
 
     # Section 7.1 tables with walk reconstruction (feeds 8.1 and 8.2.1),
     # one independent auxiliary build per source.
@@ -122,6 +128,7 @@ def compute_auxiliary_tables(
             "with_paths": True,
         },
         workers=workers,
+        pool=pool,
     )
 
     # Section 8.2.1 — small replacement paths split at centers (the flat
@@ -149,6 +156,7 @@ def compute_auxiliary_tables(
             "small_through": small_through,
         },
         workers=workers,
+        pool=pool,
     )
     timings["aux_tables"] = (
         timings.get("aux_tables", 0.0) + time.perf_counter() - start
@@ -171,6 +179,7 @@ def compute_auxiliary_tables(
             "source_trees": source_trees,
         },
         workers=workers,
+        pool=pool,
     )
     tables: Dict[int, PerSourceLandmarkTable] = {}
     for source in sources:

@@ -14,6 +14,11 @@ package shards those key lists across a :mod:`multiprocessing` pool:
   in input-key order, so the output is byte-identical to the serial run at
   any worker count (the tasks themselves are deterministic pure functions
   of the shipped context).
+* :class:`repro.parallel.pool.WorkerPool` — the pool lifecycle object: one
+  multiprocessing pool spanning every sharded phase of a solve, with each
+  new phase context re-installed into the running workers by a
+  generation-countered broadcast.  Call sites accept ``pool=`` and fall
+  back to a one-shot pool per phase when none is given.
 * :mod:`repro.parallel.tasks` — the module-level task functions (they must
   be importable by name so the ``spawn`` start method can pickle them).
 * :mod:`repro.parallel.seeding` — tagged child-seed derivation, used to
@@ -26,6 +31,7 @@ Both the ``fork`` and ``spawn`` start methods are supported; see
 """
 
 from repro.parallel.pool import (
+    WorkerPool,
     default_start_method,
     resolve_workers,
     run_sharded,
@@ -34,6 +40,7 @@ from repro.parallel.pool import (
 from repro.parallel.seeding import child_rng, derive_child_seed
 
 __all__ = [
+    "WorkerPool",
     "child_rng",
     "default_start_method",
     "derive_child_seed",

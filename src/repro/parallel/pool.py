@@ -5,58 +5,145 @@ parallelism is embarrassing: a phase is a pure function applied
 independently to every key of a list, with a large read-only *context*
 (graph, BFS trees, Section 8 tables) shared by all keys.
 
-* The context ships **once per worker** through the pool initializer.
-  Under the ``fork`` start method this is free — children inherit the
-  parent's memory and the initializer argument is never pickled; under
-  ``spawn`` it is pickled exactly once per worker, which is why the
-  substrates define compact ``__getstate__`` forms (typed arrays, no lazy
-  caches).
+* The context ships **once per worker** through the pool initializer — or,
+  when a :class:`WorkerPool` is reused across phases, through a broadcast
+  "set context" sweep keyed by a generation counter.  Under the ``fork``
+  start method the initializer transfer is free (children inherit the
+  parent's memory); under ``spawn`` it is pickled exactly once per worker,
+  which is why the substrates define compact ``__getstate__`` forms (typed
+  arrays, no lazy caches).
 * The key list splits into contiguous chunks — by default one chunk per
   worker — so the per-dispatch overhead (one pickled list of ints, one
-  pickled result dict) is amortised over the whole shard.
+  pickled result dict) is amortised over the whole shard.  Duplicate keys
+  are computed once: the distinct keys (first-seen order) are what gets
+  chunked, and the merge fans the shared results back out over the
+  original key list.
 * Each task returns a ``{key: value}`` dict for its chunk; the merge
   re-keys the union **in input-key order** and verifies completeness, so
   the merged mapping is byte-identical to what the serial loop would have
   produced regardless of worker count, chunking or completion order.
 
-``run_sharded`` degrades to an in-process call of the *same* task function
-when sharding cannot help (``workers <= 1``, a single key, or already
-inside a pool worker), so serial and parallel runs execute identical code
-on identical inputs — the determinism guarantee is structural, not tested
-into existence.
+:func:`run_sharded` degrades to an in-process call of the *same* task
+function when sharding cannot help (``workers <= 1``, a single key, or
+already inside a pool worker), so serial and parallel runs execute
+identical code on identical inputs — the determinism guarantee is
+structural, not tested into existence.
+
+**Pool lifecycle.**  Opening a :mod:`multiprocessing` pool costs a process
+start-up per worker, and a solve runs five-plus sharded phases; paying
+that cost per phase is measurable overhead (the committed
+``BENCH_msrp.json`` workers rows).  :class:`WorkerPool` owns one pool for
+the duration of a solve and re-installs each phase's context into the
+already-running workers, so the start-up amortises across the whole
+pipeline.  Call sites accept an optional ``pool`` and fall back to a
+one-shot pool (or the serial path) when none is given.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import InternalInvariantError, InvalidParameterError
 
 #: Environment variable overriding the default start method (fork/spawn).
 START_METHOD_ENV = "REPRO_MP_START_METHOD"
 
-#: The shared context installed by the pool initializer (or by the
-#: in-process serial fallback).  Thread-local rather than a module global:
-#: pool workers are single-threaded so the initializer and the tasks share
-#: one slot, while concurrent serial solves in threads of one process (the
-#: graph layer advertises thread-safety) each see their own context.
+#: The shared context installed by the pool initializer / context broadcast
+#: (or by the in-process serial fallback).  Thread-local rather than a
+#: module global: pool workers are single-threaded so the initializer and
+#: the tasks share one slot, while concurrent serial solves in threads of
+#: one process (the graph layer advertises thread-safety) each see their
+#: own context.
 _TLS = threading.local()
 
+#: Barrier shared by the workers of the owning pool (installed by the pool
+#: initializer).  A context broadcast maps one "set context" item per
+#: worker and has every worker wait here, which is what guarantees each
+#: worker takes exactly one item — no worker can grab a second broadcast
+#: item while its siblings still owe their first.
+_WORKER_BARRIER: Optional[Any] = None
 
-def _install_context(context: Any) -> None:
-    """Pool initializer: stash the phase context in the worker process."""
+#: Worker-side component store: token -> shipped context component.  Phase
+#: contexts are dicts whose heavy components (the graph, tree maps, Section
+#: 8 tables) recur across phases; a broadcast ships each component **once**
+#: and later phases reference it by token, so re-installing a context costs
+#: one transfer of whatever is genuinely new, not of the whole context.
+_STORE: Dict[int, Any] = {}
+
+#: Number of multiprocessing pools this module has opened in this process.
+#: Test instrumentation for the "one pool per solve" contract; never reset.
+POOLS_OPENED = 0
+
+
+def _apply_context(generation: int, new: Any, layout: Optional[Dict]) -> None:
+    """Rebuild and install a phase context from (new components, layout).
+
+    ``layout`` maps context keys to store tokens; ``new`` carries the
+    components this worker has not seen yet.  A ``None`` layout means the
+    context was not a dict and ``new`` is the whole (uncached) context.
+    """
+    if layout is None:
+        context = new
+    else:
+        _STORE.update(new)
+        context = {key: _STORE[token] for key, token in layout.items()}
+    _TLS.generation = generation
     _TLS.context = context
+
+
+def _install_pool_worker(
+    barrier: Any, generation: int, new: Any, layout: Optional[Dict]
+) -> None:
+    """Pool initializer: barrier + the first phase's context and generation."""
+    global _WORKER_BARRIER, _STORE
+    _WORKER_BARRIER = barrier
+    _STORE = {}
+    _apply_context(generation, new, layout)
+
+
+def _set_context_task(blob: bytes) -> int:
+    """Broadcast body: install a new phase context into this worker.
+
+    The payload arrives pre-pickled (the parent serialises the new
+    components once per phase, not once per worker); the barrier wait makes
+    the ``pool.map`` over ``pool_size`` copies deliver exactly one copy to
+    every worker, and the echoed generation lets the parent verify the
+    sweep reached the whole pool.
+    """
+    generation, new, layout = pickle.loads(blob)
+    _apply_context(generation, new, layout)
+    _WORKER_BARRIER.wait()
+    return generation
+
+
+def _dispatch_chunk(payload: Any) -> Dict[Hashable, Any]:
+    """Run one chunk of a sharded phase, refusing stale worker state.
+
+    The generation check is what makes context reinstallation safe: a
+    worker that somehow missed a broadcast (or a chunk queued against an
+    older phase) fails loudly instead of silently computing the new phase's
+    keys against the previous phase's context.
+    """
+    task, generation, chunk = payload
+    current = getattr(_TLS, "generation", None)
+    if current != generation:
+        raise InternalInvariantError(
+            f"pool worker holds context generation {current!r} but was "
+            f"dispatched a chunk of generation {generation!r}"
+        )
+    return task(chunk)
 
 
 def worker_context() -> Any:
     """The context of the sharded phase currently executing.
 
     Task functions call this instead of receiving the (large) context per
-    task; it is populated exactly once per worker process by the pool
-    initializer, and transiently in-process for serial fallback runs.
+    task; it is populated once per worker per phase (pool initializer or
+    context broadcast), and transiently in-process for serial fallback runs.
     """
     context = getattr(_TLS, "context", None)
     if context is None:
@@ -72,12 +159,20 @@ def default_start_method() -> str:
     ``fork`` when the platform offers it (context transfer is free — the
     children inherit the parent's memory), otherwise ``spawn``.  The
     ``REPRO_MP_START_METHOD`` environment variable overrides the choice,
-    which is how the test battery pins the spawn path on fork platforms.
+    which is how the test battery pins the spawn path on fork platforms;
+    its value is validated against the platform's start methods so a typo
+    fails with a clear error instead of surfacing as an opaque
+    ``ValueError`` inside ``multiprocessing.get_context``.
     """
+    methods = multiprocessing.get_all_start_methods()
     env = os.environ.get(START_METHOD_ENV)
     if env:
+        if env not in methods:
+            raise InvalidParameterError(
+                f"{START_METHOD_ENV}={env!r} is not a multiprocessing start "
+                f"method of this platform; choose one of {methods}"
+            )
         return env
-    methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else "spawn"
 
 
@@ -122,6 +217,271 @@ def chunk_keys(keys: Sequence[Hashable], num_chunks: int) -> List[List[Hashable]
     return chunks
 
 
+def _check_chunks_per_worker(chunks_per_worker: int) -> None:
+    if chunks_per_worker < 1:
+        raise InvalidParameterError(
+            f"chunks_per_worker must be at least 1, got {chunks_per_worker}"
+        )
+
+
+def _distinct_keys(key_list: List[Hashable]) -> List[Hashable]:
+    """The distinct keys of ``key_list`` in first-seen order."""
+    seen = set()
+    distinct: List[Hashable] = []
+    for key in key_list:
+        if key not in seen:
+            seen.add(key)
+            distinct.append(key)
+    return distinct
+
+
+def _fan_out(
+    merged: Dict[Hashable, Any],
+    distinct: List[Hashable],
+    key_list: List[Hashable],
+    task: Callable,
+) -> Dict[Hashable, Any]:
+    """Completeness-check ``merged`` and re-key it over the input keys.
+
+    Duplicate input keys share the single computed result; the returned
+    dict iterates in input-key (equivalently first-seen) order, exactly
+    like the serial loop's would, so downstream fingerprints cannot drift.
+    """
+    missing = [key for key in distinct if key not in merged]
+    if missing or len(merged) != len(distinct):
+        raise InternalInvariantError(
+            f"sharded task {getattr(task, '__name__', task)!r} returned "
+            f"{len(merged)} results for {len(distinct)} distinct keys "
+            f"(missing: {missing[:5]})"
+        )
+    return {key: merged[key] for key in key_list}
+
+
+class WorkerPool:
+    """One multiprocessing pool reused across the phases of a solve.
+
+    Usage rules:
+
+    * Construct with the requested ``workers`` count and use as a context
+      manager (or call :meth:`close` explicitly) — the underlying pool is
+      opened **lazily** on the first phase that actually shards, so a
+      ``workers <= 1`` pool never starts a process and every phase runs the
+      in-process serial fallback.
+    * Hand the instance to :func:`run_sharded` (or call :meth:`run`) for
+      every phase of the solve.  Each new phase context is re-installed
+      into the already-running workers by a broadcast "set context" task
+      keyed by a monotonically increasing generation counter; chunk
+      dispatches carry the generation and workers refuse mismatched ones,
+      so a stale worker can never serve a new phase.
+    * Treat a context — and every component inside it — as frozen once a
+      phase ran with it: the workers hold their own copies, components are
+      cached worker-side by parent object identity (a component shipped in
+      one phase is referenced by token in later phases, never re-sent), and
+      the broadcast is skipped entirely when the same context object is
+      installed twice.  Mutating shipped state would desynchronise parent
+      and workers.
+    * The pool is sized to ``workers`` once, at first use; phases with
+      fewer keys simply leave workers idle, phases with a single key (or
+      running inside a pool worker) fall back to the serial path without
+      touching the generation counter.
+    * Shipped components are retained — parent-side (strong refs) and in
+      every worker's store — until :meth:`close`.  This is deliberate: a
+      component absent from one phase's context routinely recurs in a
+      later one (the tree maps skip the Section 8.2 phase and return for
+      assembly), and evicting on absence would forfeit exactly the
+      transfers the store exists to avoid.  The cost is bounded by the
+      solve's working set per process, which is why a ``WorkerPool`` is a
+      per-solve object, not a long-lived service; close it when the solve
+      ends.
+    """
+
+    def __init__(self, workers: int = 0, start_method: Optional[str] = None):
+        if workers < 0:
+            raise InvalidParameterError(
+                f"workers must be non-negative, got {workers}"
+            )
+        self.workers = workers
+        self._start_method = start_method
+        self._pool: Optional[Any] = None
+        self._size = 0
+        self._generation = 0
+        self._installed: Any = None
+        # Component-store bookkeeping: token per shipped context component,
+        # keyed by object identity.  The strong refs keep the ids stable
+        # (a recycled id must never alias a dead component's token).
+        self._next_token = 0
+        self._shipped_tokens: Dict[int, int] = {}
+        self._shipped_values: List[Any] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    @property
+    def is_open(self) -> bool:
+        """``True`` while an underlying multiprocessing pool is running."""
+        return self._pool is not None
+
+    @property
+    def generation(self) -> int:
+        """The generation counter of the currently installed phase context."""
+        return self._generation
+
+    def close(self) -> None:
+        """Terminate the underlying pool (if any) and drop shipped state."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._size = 0
+        # The worker stores died with the pool; forget what was shipped so
+        # a reopened pool never references tokens its workers do not hold.
+        self._installed = None
+        self._shipped_tokens = {}
+        self._shipped_values = []
+
+    # -- internals ---------------------------------------------------------
+
+    def _encode_context(
+        self, context: Any
+    ) -> Tuple[Any, Optional[Dict], Dict[int, int], List[Any]]:
+        """Split ``context`` into (new components, token layout, pending).
+
+        Dict contexts are tokenised by component identity: a component
+        already shipped to the workers travels as a token reference, only
+        genuinely new components are serialised.  Phases share their heavy
+        inputs (the graph, the source/landmark/center tree maps), so after
+        the first phase a broadcast typically carries one or two new
+        tables, not the whole working set.  Non-dict contexts bypass the
+        store (``layout=None``, shipped whole).
+
+        The shipped-component bookkeeping is **not** mutated here: the
+        pending ``(id -> token, strong refs)`` pair is returned for the
+        caller to commit only once the transfer provably reached every
+        worker — a failed broadcast must not leave the parent believing
+        the workers hold components they never stored.
+        """
+        if not isinstance(context, dict):
+            return context, None, {}, []
+        new: Dict[int, Any] = {}
+        layout: Dict[Any, int] = {}
+        pending_tokens: Dict[int, int] = {}
+        pending_values: List[Any] = []
+        for key, value in context.items():
+            token = self._shipped_tokens.get(id(value))
+            if token is None:
+                token = pending_tokens.get(id(value))
+            if token is None:
+                token = self._next_token
+                self._next_token += 1
+                pending_tokens[id(value)] = token
+                pending_values.append(value)
+                new[token] = value
+            layout[key] = token
+        return new, layout, pending_tokens, pending_values
+
+    def _commit_shipped(
+        self, pending_tokens: Dict[int, int], pending_values: List[Any]
+    ) -> None:
+        self._shipped_tokens.update(pending_tokens)
+        self._shipped_values.extend(pending_values)
+
+    def _ensure_open(self, context: Any) -> None:
+        """Open the pool on first pooled use, seeding it with ``context``.
+
+        The first context travels through the pool initializer — free under
+        ``fork`` (inherited memory), pickled once per worker under
+        ``spawn`` — so a one-shot use of the pool costs exactly what the
+        pre-``WorkerPool`` per-phase scheduling cost.
+        """
+        global POOLS_OPENED
+        if self._pool is not None:
+            return
+        ctx = multiprocessing.get_context(
+            self._start_method or default_start_method()
+        )
+        self._size = self.workers
+        self._generation += 1
+        new, layout, pending_tokens, pending_values = self._encode_context(context)
+        barrier = ctx.Barrier(self._size)
+        self._pool = ctx.Pool(
+            processes=self._size,
+            initializer=_install_pool_worker,
+            initargs=(barrier, self._generation, new, layout),
+        )
+        POOLS_OPENED += 1
+        self._commit_shipped(pending_tokens, pending_values)
+        self._installed = context
+
+    def _install(self, context: Any) -> None:
+        """Broadcast ``context`` into every running worker (new generation).
+
+        The new components are pickled once per phase (the workers receive
+        the same pre-serialised blob), and components the workers already
+        hold travel as token references — see :meth:`_encode_context`.
+        """
+        if self._installed is context:
+            return
+        self._generation += 1
+        new, layout, pending_tokens, pending_values = self._encode_context(context)
+        blob = pickle.dumps(
+            (self._generation, new, layout), pickle.HIGHEST_PROTOCOL
+        )
+        echoed = self._pool.map(
+            _set_context_task, [blob] * self._size, chunksize=1
+        )
+        if echoed != [self._generation] * self._size:
+            raise InternalInvariantError(
+                f"context broadcast for generation {self._generation} "
+                f"echoed {echoed} from {self._size} workers"
+            )
+        # Only a provably complete broadcast registers its components as
+        # shipped; a failed sweep re-ships them next time (workers that
+        # did store them just overwrite the same tokens).
+        self._commit_shipped(pending_tokens, pending_values)
+        self._installed = context
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(
+        self,
+        task: Callable[[Sequence[Hashable]], Dict[Hashable, Any]],
+        keys: Sequence[Hashable],
+        context: Any,
+        chunks_per_worker: int = 1,
+    ) -> Dict[Hashable, Any]:
+        """Apply ``task`` to ``keys`` on this pool (one sharded phase).
+
+        Same contract as :func:`run_sharded`: the result is keyed in input
+        order and byte-identical to the serial run.  Phases that cannot
+        shard (``workers <= 1``, one distinct key, inside a pool worker)
+        run the identical task function in-process without opening a pool.
+        """
+        _check_chunks_per_worker(chunks_per_worker)
+        key_list = list(keys)
+        distinct = _distinct_keys(key_list)
+        if resolve_workers(self.workers, len(distinct)) == 0:
+            merged = _run_serial(task, distinct, context)
+        else:
+            self._ensure_open(context)
+            self._install(context)
+            num_chunks = min(len(distinct), self._size * chunks_per_worker)
+            payloads = [
+                (task, self._generation, chunk)
+                for chunk in chunk_keys(distinct, num_chunks)
+            ]
+            partials = self._pool.map(_dispatch_chunk, payloads, chunksize=1)
+            merged = {}
+            for partial in partials:
+                merged.update(partial)
+        return _fan_out(merged, distinct, key_list, task)
+
+
 def run_sharded(
     task: Callable[[Sequence[Hashable]], Dict[Hashable, Any]],
     keys: Sequence[Hashable],
@@ -129,6 +489,7 @@ def run_sharded(
     workers: int = 0,
     start_method: Optional[str] = None,
     chunks_per_worker: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[Hashable, Any]:
     """Apply ``task`` to ``keys``, sharded across a process pool.
 
@@ -139,18 +500,25 @@ def run_sharded(
         taking a chunk of keys and returning ``{key: result}`` for exactly
         that chunk.  It reads the shared inputs via :func:`worker_context`.
     keys:
-        The work units.  Order defines the merge order of the result.
+        The work units.  Order defines the merge order of the result;
+        duplicate keys are computed once and share the result.
     context:
         The read-only shared inputs, shipped once per worker.
     workers:
         Requested worker count; ``0``/``1`` run the task in-process.
+        Ignored when ``pool`` is given (the pool's size wins).
     start_method:
         ``"fork"`` / ``"spawn"`` / ``"forkserver"``; defaults to
-        :func:`default_start_method`.
+        :func:`default_start_method`.  Ignored when ``pool`` is given.
     chunks_per_worker:
-        Scheduling granularity.  ``1`` (default) minimises transfer —
-        one chunk per worker; larger values trade dispatch overhead for
-        load balancing when per-key costs are skewed.
+        Scheduling granularity (at least 1).  ``1`` (default) minimises
+        transfer — one chunk per worker; larger values trade dispatch
+        overhead for load balancing when per-key costs are skewed.
+    pool:
+        An open :class:`WorkerPool` to reuse.  When given, this phase's
+        context is broadcast into the pool's running workers instead of
+        paying a pool start-up; when omitted, a one-shot pool spans just
+        this call.
 
     Returns
     -------
@@ -158,34 +526,16 @@ def run_sharded(
         ``{key: result}`` in ``keys`` order — byte-identical to the serial
         run at any worker count.
     """
+    if pool is not None:
+        return pool.run(task, keys, context, chunks_per_worker=chunks_per_worker)
+    _check_chunks_per_worker(chunks_per_worker)
     key_list = list(keys)
-    pool_size = resolve_workers(workers, len(key_list))
+    distinct = _distinct_keys(key_list)
+    pool_size = resolve_workers(workers, len(distinct))
     if pool_size == 0:
-        return _run_serial(task, key_list, context)
-
-    num_chunks = min(len(key_list), pool_size * max(1, chunks_per_worker))
-    chunks = chunk_keys(key_list, num_chunks)
-    ctx = multiprocessing.get_context(start_method or default_start_method())
-    with ctx.Pool(
-        processes=pool_size,
-        initializer=_install_context,
-        initargs=(context,),
-    ) as pool:
-        partials = pool.map(task, chunks)
-
-    merged: Dict[Hashable, Any] = {}
-    for partial in partials:
-        merged.update(partial)
-    missing = [key for key in key_list if key not in merged]
-    if missing or len(merged) != len(key_list):
-        raise InternalInvariantError(
-            f"sharded task {getattr(task, '__name__', task)!r} returned "
-            f"{len(merged)} results for {len(key_list)} keys "
-            f"(missing: {missing[:5]})"
-        )
-    # Re-key in input order: the merged mapping iterates exactly like the
-    # serial loop's would, so downstream fingerprints cannot drift.
-    return {key: merged[key] for key in key_list}
+        return _fan_out(_run_serial(task, distinct, context), distinct, key_list, task)
+    with WorkerPool(pool_size, start_method=start_method) as one_shot:
+        return one_shot.run(task, key_list, context, chunks_per_worker=chunks_per_worker)
 
 
 def _run_serial(

@@ -25,7 +25,8 @@ from __future__ import annotations
 from typing import Any, Dict, Sequence, Tuple
 
 from repro.core.near_small import compute_near_small_tables
-from repro.graph.csr import bfs_tree_csr
+from repro.graph.csr import bfs_distances_csr, bfs_tree_csr
+from repro.graph.graph import normalize_edge
 from repro.multisource.tables import compute_center_to_landmark_tables
 from repro.parallel.pool import worker_context
 
@@ -42,6 +43,37 @@ def bfs_roots_task(roots: Sequence[int]) -> Dict[int, Any]:
         root: bfs_tree_csr(graph, root, forbidden_edge=forbidden_edge)
         for root in roots
     }
+
+
+def bruteforce_edges_task(
+    children: Sequence[int],
+) -> Dict[int, Tuple[Any, Dict[int, float]]]:
+    """One forbidden-edge BFS per tree edge of the brute-force oracle.
+
+    Context: ``{"graph": CSRGraph, "source": int, "tree": ShortestPathTree}``.
+    A key is the child endpoint of a tree edge (unique per edge); the value
+    is ``(edge, {target: replacement_length})`` restricted to the targets
+    in the subtree below the failed edge — exactly the entries the serial
+    sweep in :func:`repro.rp.bruteforce.brute_force_single_source` fills
+    for that edge, in the same target order.
+    """
+    ctx = worker_context()
+    csr = ctx["graph"]
+    source = ctx["source"]
+    tree = ctx["tree"]
+    reachable = tree.reachable_vertices()
+    is_ancestor = tree.is_ancestor
+    results: Dict[int, Tuple[Any, Dict[int, float]]] = {}
+    for child in children:
+        parent = tree.parent[child]
+        edge = normalize_edge(parent, child)
+        dist = bfs_distances_csr(csr, source, forbidden_edge=edge)
+        per_target: Dict[int, float] = {}
+        for t in reachable:
+            if t != source and is_ancestor(child, t):
+                per_target[t] = dist[t]
+        results[child] = (edge, per_target)
+    return results
 
 
 def near_small_task(sources: Sequence[int]) -> Dict[int, Any]:

@@ -14,17 +14,27 @@ matters for targets whose canonical path uses ``e``, i.e. the vertices in
 the ``T_s`` subtree below ``e``; this keeps its output exactly aligned with
 the efficient algorithms (same canonical paths, same set of reported
 ``(t, e)`` pairs).
+
+The one-BFS-per-tree-edge sweep is embarrassingly parallel, so the single-
+and multi-source oracles accept the same ``workers``/``pool`` knobs as the
+efficient pipeline (:mod:`repro.parallel`): the per-edge sweep shards
+across the pool with output entry-for-entry identical to the serial sweep
+(including ``math.inf`` canonicalisation), which is what makes
+``verify=True`` runs and the nightly differential-fuzz sweeps usable on
+larger instances.
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.csr import bfs_distances_csr, bfs_tree_csr
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
+from repro.parallel import WorkerPool, run_sharded
 
 #: target -> (failed edge -> replacement length)
 SingleSourceAnswer = Dict[int, Dict[Edge, float]]
@@ -54,8 +64,15 @@ def brute_force_single_source(
     graph: Graph,
     source: int,
     source_tree: Optional[ShortestPathTree] = None,
+    workers: int = 0,
+    pool: Optional[WorkerPool] = None,
 ) -> SingleSourceAnswer:
     """Ground-truth SSRP: replacement lengths for every target and failed edge.
+
+    With ``workers > 1`` (or an open ``pool``) the one-BFS-per-tree-edge
+    sweep shards across a process pool; the merge re-canonicalises
+    infinities so the answer is entry-for-entry identical to the serial
+    sweep, ``is math.inf`` checks included.
 
     Returns
     -------
@@ -64,35 +81,56 @@ def brute_force_single_source(
         avoiding ``e``, for every ``t`` reachable from ``source`` and every
         edge ``e`` on the canonical ``source``-``t`` path.
     """
+    from repro.parallel.tasks import bruteforce_edges_task
+
     if not graph.has_vertex(source):
         raise InvalidParameterError(f"source {source} outside vertex range")
     tree = source_tree if source_tree is not None else bfs_tree_csr(graph, source)
     # One BFS per tree edge: compile the CSR view once and reuse it for the
-    # whole sweep (this loop dominates the oracle's running time).
+    # whole sweep (this loop dominates the oracle's running time).  The
+    # sweep is keyed by the child endpoint of each tree edge; the serial
+    # fallback of run_sharded executes the identical task function, so the
+    # pooled and serial answers are structurally the same object graph.
     csr = graph.csr()
-    answer: SingleSourceAnswer = {
-        t: {} for t in tree.reachable_vertices() if t != source
-    }
-    for child in tree.reachable_vertices():
-        parent = tree.parent[child]
-        if parent is None:
-            continue
-        edge = normalize_edge(parent, child)
-        dist = bfs_distances_csr(csr, source, forbidden_edge=edge)
-        for t in tree.reachable_vertices():
-            if t != source and tree.is_ancestor(child, t):
-                answer[t][edge] = dist[t]
+    reachable = tree.reachable_vertices()
+    children = [child for child in reachable if tree.parent[child] is not None]
+    sharded = run_sharded(
+        bruteforce_edges_task,
+        children,
+        {"graph": csr, "source": source, "tree": tree},
+        workers=workers,
+        pool=pool,
+    )
+    inf = math.inf
+    answer: SingleSourceAnswer = {t: {} for t in reachable if t != source}
+    for child in children:
+        edge, per_target = sharded[child]
+        for t, value in per_target.items():
+            # Pickled floats lose singleton identity; re-canonicalise so
+            # ``is math.inf`` consumers cannot tell a sharded run apart.
+            answer[t][edge] = inf if value == inf else value
     return answer
 
 
 def brute_force_multi_source(
     graph: Graph,
     sources: Iterable[int],
+    workers: int = 0,
+    pool: Optional[WorkerPool] = None,
 ) -> MultiSourceAnswer:
-    """Ground-truth MSRP: one brute-force SSRP per source."""
+    """Ground-truth MSRP: one brute-force SSRP per source.
+
+    ``workers``/``pool`` shard each per-source edge sweep; when no pool is
+    given one :class:`~repro.parallel.WorkerPool` spans all sources, so a
+    multi-source verification never pays more than one pool start-up.
+    """
+    scope = nullcontext(pool) if pool is not None else WorkerPool(workers)
     answer: MultiSourceAnswer = {}
-    for s in sources:
-        answer[int(s)] = brute_force_single_source(graph, int(s))
+    with scope as active_pool:
+        for s in sources:
+            answer[int(s)] = brute_force_single_source(
+                graph, int(s), workers=workers, pool=active_pool
+            )
     return answer
 
 

@@ -64,7 +64,7 @@ SLOW_SEEDS = range(100, 150)  # ~50 seeds per generator for the nightly job
 
 
 def _check_pipeline_matches_bruteforce(
-    name: str, seed: int, workers: int = 0
+    name: str, seed: int, workers: int = 0, oracle_workers: int = 0
 ) -> None:
     graph = GENERATORS[name](seed)
     rng = random.Random(seed)
@@ -76,10 +76,11 @@ def _check_pipeline_matches_bruteforce(
         params=AlgorithmParams(seed=seed, workers=workers),
         landmark_strategy="auxiliary",
     )
-    reference = brute_force_multi_source(graph, sources)
+    reference = brute_force_multi_source(graph, sources, workers=oracle_workers)
     mismatches = result.differences_from(reference)
     assert not mismatches, (
-        f"{name}/seed={seed}/workers={workers}: {len(mismatches)} mismatches, "
+        f"{name}/seed={seed}/workers={workers}"
+        f"/oracle_workers={oracle_workers}: {len(mismatches)} mismatches, "
         f"first: {mismatches[:3]}"
     )
 
@@ -226,13 +227,20 @@ def test_auxiliary_pipeline_matches_bruteforce_sweep(name):
     """~50 seeded graphs per generator through the full pipeline.
 
     The seed also toggles the process-sharded path (``workers`` cycles
-    through 0/2/3), so the parallel merge is fuzzed against the serial
-    brute-force oracle on the same instances the nightly job already
-    sweeps.
+    through 0/2/3) *and* the sharded brute-force oracle (``oracle_workers``
+    alternates 0/2 on a coprime stride), so the nightly job fuzzes the
+    parallel merge, the pool-reuse lifecycle and the sharded oracle
+    against each other on the same instances it already sweeps — a
+    sharded pipeline is regularly checked against a serial oracle and
+    vice versa, so the two parallel paths can never only be compared to
+    themselves.
     """
     for seed in SLOW_SEEDS:
         workers = (0, 2, 3)[seed % 3]
-        _check_pipeline_matches_bruteforce(name, seed, workers=workers)
+        oracle_workers = (0, 2)[seed % 2]
+        _check_pipeline_matches_bruteforce(
+            name, seed, workers=workers, oracle_workers=oracle_workers
+        )
 
 
 @pytest.mark.slow

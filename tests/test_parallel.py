@@ -1,12 +1,19 @@
 """Tests for the process-sharded pipeline (:mod:`repro.parallel`).
 
-Three families:
+Five families:
 
 * **Scheduler semantics** — chunking, serial fallback, context plumbing,
-  spawn-vs-fork, merge order and completeness.
+  spawn-vs-fork, merge order and completeness (including duplicate keys
+  and the validation of every scheduling knob).
+* **Pool lifecycle** — :class:`~repro.parallel.WorkerPool` reuse across
+  phases: one multiprocessing pool per solve, generation-countered
+  context broadcasts, the stale-worker guard, and serial degradation.
 * **Determinism** — the full MSRP solve is entry-for-entry identical at
-  ``workers`` ∈ {serial, 2, 4} for both landmark strategies (the contract
-  the benchmark harness' fingerprint check enforces at scale).
+  ``workers`` ∈ {serial, 2, 4} for both landmark strategies and both
+  pool-reuse modes (the contract the benchmark harness' fingerprint
+  check enforces at scale).
+* **Sharded oracle** — the process-sharded brute-force oracle equals the
+  serial oracle entry-for-entry on the property-battery generators.
 * **Seeding** — tagged child-seed derivation, and the regression for the
   correlated-RNG fallback in ``compute_auxiliary_tables`` (centers must
   not be sampled from the same stream as the landmarks).
@@ -14,6 +21,7 @@ Three families:
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
@@ -21,19 +29,22 @@ import pytest
 from repro.core.landmarks import LandmarkHierarchy
 from repro.core.msrp import MSRPSolver
 from repro.core.params import AlgorithmParams, ProblemScale
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InternalInvariantError, InvalidParameterError
 from repro.graph import generators
 from repro.graph.csr import bfs_many
 from repro.multisource.centers import CenterHierarchy
 from repro.multisource.pipeline import compute_auxiliary_tables
 from repro.parallel import (
+    WorkerPool,
     child_rng,
     derive_child_seed,
     resolve_workers,
     run_sharded,
 )
-from repro.parallel.pool import chunk_keys
+from repro.parallel import pool as pool_module
+from repro.parallel.pool import chunk_keys, default_start_method
 from repro.parallel.tasks import bfs_roots_task
+from repro.rp.bruteforce import brute_force_multi_source, brute_force_single_source
 
 
 # ---------------------------------------------------------------------------
@@ -96,13 +107,129 @@ class TestScheduler:
             assert sharded[root].dist == tree.dist
             assert sharded[root].parent == tree.parent
 
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_duplicate_keys_computed_once_and_fanned_out(self, workers):
+        """Regression: duplicate keys used to trip the completeness check
+        (the merged dict has fewer entries than the key list), raising a
+        spurious ``InternalInvariantError``.  Duplicates must dedupe before
+        chunking and fan back out in input order."""
+        graph = generators.random_connected_graph(24, extra_edges=30, seed=2)
+        context = {"graph": graph.csr(), "forbidden_edge": None}
+        roots = [5, 1, 5, 5, 2, 1]
+        result = run_sharded(bfs_roots_task, roots, context, workers=workers)
+        assert list(result) == [5, 1, 2]  # first-seen order, computed once
+        reference = run_sharded(bfs_roots_task, [5, 1, 2], context, workers=0)
+        for root in reference:
+            assert result[root].dist == reference[root].dist
+
+    def test_chunks_per_worker_validated(self):
+        """Regression: ``chunks_per_worker`` was silently clamped via
+        ``max(1, ...)`` while every other knob raises on bad values."""
+        context = {"graph": None, "forbidden_edge": None}
+        for bad in (0, -2):
+            with pytest.raises(InvalidParameterError, match="chunks_per_worker"):
+                run_sharded(
+                    bfs_roots_task, [1, 2], context, workers=0, chunks_per_worker=bad
+                )
+            with WorkerPool(2) as pool:
+                with pytest.raises(InvalidParameterError, match="chunks_per_worker"):
+                    pool.run(bfs_roots_task, [1, 2], context, chunks_per_worker=bad)
+
+    def test_start_method_env_var_validated(self, monkeypatch):
+        """Regression: a typo in ``REPRO_MP_START_METHOD`` used to surface
+        as an opaque ``ValueError`` inside ``multiprocessing.get_context``;
+        it must fail with ``InvalidParameterError`` naming the variable."""
+        monkeypatch.setenv(pool_module.START_METHOD_ENV, "frok")
+        with pytest.raises(InvalidParameterError, match=pool_module.START_METHOD_ENV):
+            default_start_method()
+        monkeypatch.setenv(pool_module.START_METHOD_ENV, "spawn")
+        assert default_start_method() == "spawn"
+        monkeypatch.delenv(pool_module.START_METHOD_ENV)
+        assert default_start_method() in ("fork", "spawn")
+
+
+# ---------------------------------------------------------------------------
+# pool lifecycle: WorkerPool reuse across phases
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_one_pool_spans_phases_with_context_swap(self):
+        """Two phases with different contexts reuse one multiprocessing
+        pool; the second context is broadcast under a new generation and
+        the results match the serial run of each phase."""
+        graph = generators.random_connected_graph(26, extra_edges=30, seed=7)
+        first_ctx = {"graph": graph.csr(), "forbidden_edge": None}
+        edge = (0, graph.neighbors(0)[0])
+        second_ctx = {"graph": graph.csr(), "forbidden_edge": edge}
+        before = pool_module.POOLS_OPENED
+        with WorkerPool(2) as pool:
+            assert not pool.is_open  # opened lazily, on first sharded phase
+            first = run_sharded(bfs_roots_task, list(range(8)), first_ctx, pool=pool)
+            assert pool.is_open
+            first_generation = pool.generation
+            second = run_sharded(
+                bfs_roots_task, list(range(8, 14)), second_ctx, pool=pool
+            )
+            assert pool.generation > first_generation
+        assert not pool.is_open
+        assert pool_module.POOLS_OPENED - before == 1
+        serial_first = run_sharded(bfs_roots_task, list(range(8)), first_ctx, workers=0)
+        serial_second = run_sharded(
+            bfs_roots_task, list(range(8, 14)), second_ctx, workers=0
+        )
+        for root, tree in serial_first.items():
+            assert first[root].dist == tree.dist
+            assert first[root].order == tree.order
+        for root, tree in serial_second.items():
+            assert second[root].dist == tree.dist
+            assert second[root].parent == tree.parent
+
+    def test_same_context_not_rebroadcast(self):
+        graph = generators.random_connected_graph(20, extra_edges=24, seed=3)
+        context = {"graph": graph.csr(), "forbidden_edge": None}
+        with WorkerPool(2) as pool:
+            run_sharded(bfs_roots_task, [0, 1, 2, 3], context, pool=pool)
+            generation = pool.generation
+            run_sharded(bfs_roots_task, [4, 5, 6], context, pool=pool)
+            assert pool.generation == generation  # same object: workers hold it
+
+    def test_serial_pool_never_opens(self):
+        graph = generators.random_connected_graph(18, extra_edges=20, seed=5)
+        context = {"graph": graph.csr(), "forbidden_edge": None}
+        before = pool_module.POOLS_OPENED
+        for workers in (0, 1):
+            with WorkerPool(workers) as pool:
+                result = pool.run(bfs_roots_task, [0, 1, 2], context)
+                assert not pool.is_open
+            assert list(result) == [0, 1, 2]
+        assert pool_module.POOLS_OPENED == before
+
+    def test_stale_generation_dispatch_rejected(self):
+        """The dispatch guard: a worker whose installed context generation
+        does not match the chunk's generation must refuse the chunk rather
+        than serve a new phase from a stale context."""
+        tls = pool_module._TLS
+        tls.generation = 3
+        tls.context = {"stale": True}
+        try:
+            with pytest.raises(InternalInvariantError, match="generation"):
+                pool_module._dispatch_chunk((bfs_roots_task, 4, [0]))
+        finally:
+            del tls.generation
+            del tls.context
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WorkerPool(-1)
+
 
 # ---------------------------------------------------------------------------
 # end-to-end determinism across worker counts
 # ---------------------------------------------------------------------------
 
 
-def _solve_entries(strategy: str, workers: int):
+def _solve_entries(strategy: str, workers: int, pool_reuse: bool = True):
     # n=72 matters: this seed's instance has infinite entries, which is what
     # arms the inf-identity assertion below (n=48 has none).
     n = 72
@@ -112,29 +239,132 @@ def _solve_entries(strategy: str, workers: int):
     solver = MSRPSolver(
         graph,
         sources,
-        params=AlgorithmParams(seed=n, workers=workers),
+        params=AlgorithmParams(seed=n, workers=workers, pool_reuse=pool_reuse),
         landmark_strategy=strategy,
     )
     return list(solver.solve().iter_entries())
 
 
+def _inf_identity_count(entries):
+    # Sharded tables come back through pickle; the result container must
+    # re-canonicalise infinities so ``is math.inf`` consumers (e.g. the
+    # benchmark fingerprint) cannot tell a sharded run from a serial one.
+    return sum(1 for *_k, value in entries if value is math.inf)
+
+
 @pytest.mark.parametrize("strategy", ["direct", "auxiliary"])
 def test_fingerprints_identical_across_worker_counts(strategy):
-    """serial vs workers=2 vs workers=4: entry-for-entry, order included."""
-    import math
+    """serial vs workers=2 vs workers=4: entry-for-entry, order included.
 
-    def inf_identity_count(entries):
-        # Sharded tables come back through pickle; the result container must
-        # re-canonicalise infinities so ``is math.inf`` consumers (e.g. the
-        # benchmark fingerprint) cannot tell a sharded run from a serial one.
-        return sum(1 for *_k, value in entries if value is math.inf)
-
+    The worker runs go through the solver's shared :class:`WorkerPool`
+    (``pool_reuse`` defaults on), so this also pins the pooled-vs-serial
+    entry equality — ``math.inf`` identity included — across the
+    generation-countered context swaps of a full multi-phase solve.
+    """
     serial = _solve_entries(strategy, 0)
     assert serial, "solver produced no entries"
     for workers in (2, 4):
         sharded = _solve_entries(strategy, workers)
         assert sharded == serial
-        assert inf_identity_count(sharded) == inf_identity_count(serial)
+        assert _inf_identity_count(sharded) == _inf_identity_count(serial)
+
+
+@pytest.mark.parametrize("strategy", ["direct", "auxiliary"])
+def test_pool_reuse_off_matches_serial(strategy):
+    """``pool_reuse=False`` restores one-pool-per-phase scheduling with
+    identical output (the benchmark harness' comparison mode)."""
+    serial = _solve_entries(strategy, 0)
+    legacy = _solve_entries(strategy, 2, pool_reuse=False)
+    assert legacy == serial
+    assert _inf_identity_count(legacy) == _inf_identity_count(serial)
+
+
+def test_auxiliary_solve_opens_exactly_one_pool():
+    """The pool-lifecycle contract at solver level: a ``workers=2``
+    auxiliary solve — BFS fan-out, Section 7.1/8.1-8.3 builds, assembly
+    and the final sweep — opens exactly one multiprocessing pool."""
+    before = pool_module.POOLS_OPENED
+    entries = _solve_entries("auxiliary", 2)
+    assert entries, "solver produced no entries"
+    assert pool_module.POOLS_OPENED - before == 1
+
+
+def test_verified_solve_shares_the_solve_pool():
+    """``verify=True`` runs the sharded brute-force oracle on the same
+    pool as the solve itself: still exactly one pool opened."""
+    n = 40
+    graph = generators.random_connected_graph(n, extra_edges=60, seed=6)
+    sources = [0, 11, 23]
+    before = pool_module.POOLS_OPENED
+    solver = MSRPSolver(
+        graph,
+        sources,
+        params=AlgorithmParams(seed=6, workers=2, verify=True),
+        landmark_strategy="auxiliary",
+    )
+    solver.solve()  # raises InternalInvariantError on any oracle mismatch
+    assert pool_module.POOLS_OPENED - before == 1
+
+
+# ---------------------------------------------------------------------------
+# the sharded brute-force oracle
+# ---------------------------------------------------------------------------
+
+
+#: The property-battery generator families, sized for the oracle.
+ORACLE_GENERATORS = {
+    "gnp": lambda seed: generators.gnp_random_graph(14, 0.3, seed=seed),
+    "gnm": lambda seed: generators.gnm_random_graph(13, 20, seed=seed),
+    "regular": lambda seed: generators.random_regular_graph(12, 3, seed=seed),
+    "connected": lambda seed: generators.random_connected_graph(
+        16, extra_edges=12, seed=seed
+    ),
+    "clusters": lambda seed: generators.path_with_clusters(5, 3, 2, seed=seed),
+}
+
+
+class TestShardedOracle:
+    @pytest.mark.parametrize("name", sorted(ORACLE_GENERATORS))
+    def test_matches_serial_oracle(self, name):
+        """Sharded == serial, entry for entry: same sources, same target
+        and edge key orders, same values, ``math.inf`` identity included."""
+        for seed in range(2):
+            graph = ORACLE_GENERATORS[name](seed)
+            rng = random.Random(seed)
+            sources = sorted(rng.sample(range(graph.num_vertices), 2))
+            serial = brute_force_multi_source(graph, sources)
+            sharded = brute_force_multi_source(graph, sources, workers=2)
+            assert sharded == serial
+            for s in serial:
+                assert list(sharded[s]) == list(serial[s])
+                for t in serial[s]:
+                    assert list(sharded[s][t]) == list(serial[s][t])
+                    for edge, value in serial[s][t].items():
+                        if value is math.inf:
+                            assert sharded[s][t][edge] is math.inf
+
+    def test_multi_source_opens_one_pool(self):
+        graph = generators.random_connected_graph(20, extra_edges=26, seed=4)
+        before = pool_module.POOLS_OPENED
+        brute_force_multi_source(graph, [0, 7, 13], workers=2)
+        assert pool_module.POOLS_OPENED - before == 1
+
+    def test_single_source_accepts_shared_pool(self):
+        graph = generators.random_connected_graph(18, extra_edges=22, seed=8)
+        serial = brute_force_single_source(graph, 0)
+        before = pool_module.POOLS_OPENED
+        with WorkerPool(2) as pool:
+            first = brute_force_single_source(graph, 0, pool=pool)
+            second = brute_force_single_source(graph, 5, pool=pool)
+        assert pool_module.POOLS_OPENED - before == 1
+        assert first == serial
+        assert second == brute_force_single_source(graph, 5)
+
+    def test_serial_workers_change_nothing(self):
+        graph = generators.path_graph(5)
+        assert brute_force_single_source(graph, 0, workers=1) == (
+            brute_force_single_source(graph, 0)
+        )
 
 
 @pytest.mark.slow
