@@ -1,0 +1,265 @@
+"""Query-throughput benchmark for the oracle store + serving layer.
+
+Where ``bench_msrp_e2e.py`` measures *solves per second*, this harness
+measures the axis the preprocess-once/query-often split opens: *queries
+per second* against a long-lived server.  Per configuration it
+
+1. solves the instance in-process (the answer oracle),
+2. writes the result to a versioned store and serves it over real HTTP
+   from an in-process :class:`~repro.serve.ServerThread`,
+3. measures a **cold** pass — every query touches a distinct
+   ``(source, edge)`` slice, so every query pays a slice
+   materialisation — and a **hot** pass — queries cycle over a small
+   working set after a warm-up lap, so the LRU answers nearly all of
+   them — both over one keep-alive client connection,
+4. fingerprints the answers of both passes (count + finite checksum +
+   infinite count) and asserts them equal to the in-process solve's
+   answers for the same queries, so a throughput number can never come
+   from serving different values.
+
+Like the e2e harness this is a plain script::
+
+    PYTHONPATH=src python benchmarks/bench_msrp_qps.py --json BENCH_qps.json
+    PYTHONPATH=src python benchmarks/bench_msrp_qps.py --fast --json /tmp/q.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.msrp import MSRPSolver
+from repro.core.params import AlgorithmParams
+from repro.graph.generators import random_connected_graph, random_sources
+from repro.serve import QueryClient, ServerThread
+from repro.store import write_store
+
+DEFAULT_SIZES = [60, 100]
+FAST_SIZES = [36]
+DEFAULT_SIGMA = 3
+DEFAULT_STRATEGY = "auxiliary"
+#: Queries per measured pass (cold is additionally capped by the number
+#: of distinct (source, edge) slices the instance offers).
+DEFAULT_QUERIES = 400
+#: Distinct (source, edge) slices the hot pass cycles over.
+DEFAULT_HOT_SLICES = 8
+
+
+def sparse_workload(num_vertices: int, seed: int):
+    """Same workload family as ``bench_msrp_e2e`` (``m ~ 3 n``)."""
+    return random_connected_graph(num_vertices, extra_edges=2 * num_vertices, seed=seed)
+
+
+def distinct_slice_queries(result) -> List[Tuple[int, int, Tuple[int, int]]]:
+    """One ``(source, target, edge)`` query per distinct ``(source, edge)``.
+
+    Deduplicating on the slice key makes the cold pass genuinely cold:
+    no two queries share a cache entry, so every answer pays the slice
+    materialisation.
+    """
+    queries: List[Tuple[int, int, Tuple[int, int]]] = []
+    seen = set()
+    for s, t, e, _value in result.iter_entries():
+        key = (s, e)
+        if key in seen:
+            continue
+        seen.add(key)
+        queries.append((s, t, e))
+    return queries
+
+
+def fingerprint(values: List[float]) -> Dict[str, float]:
+    """Same shape as the e2e harness' output invariant."""
+    finite_sum = 0.0
+    infinite = 0
+    for value in values:
+        if value == math.inf:
+            infinite += 1
+        else:
+            finite_sum += value
+    return {"queries": len(values), "finite_sum": finite_sum, "infinite": infinite}
+
+
+def measure_pass(
+    port: int, queries: List[Tuple[int, int, Tuple[int, int]]]
+) -> Tuple[float, List[float]]:
+    """Run ``queries`` over one keep-alive connection; returns (qps, answers)."""
+    with QueryClient(port=port) as client:
+        start = time.perf_counter()
+        answers = [client.query(s, t, e) for s, t, e in queries]
+        elapsed = time.perf_counter() - start
+    return (len(queries) / elapsed if elapsed > 0 else 0.0, answers)
+
+
+def run_one(
+    n: int,
+    sigma: int,
+    strategy: str,
+    num_queries: int,
+    hot_slices: int,
+) -> Dict:
+    graph = sparse_workload(n, seed=n)
+    sources = random_sources(graph, sigma, seed=n)
+    solver = MSRPSolver(
+        graph,
+        sources,
+        params=AlgorithmParams(seed=n),
+        landmark_strategy=strategy,
+    )
+    start = time.perf_counter()
+    result = solver.solve()
+    preprocess_seconds = time.perf_counter() - start
+
+    pool = distinct_slice_queries(result)
+    cold_queries = pool[: min(num_queries, len(pool))]
+    hot_pool = pool[: min(hot_slices, len(pool))]
+    repeats = max(1, num_queries // len(hot_pool))
+    hot_queries = (hot_pool * repeats)[:num_queries]
+
+    expected_cold = [result.replacement_length(s, t, e) for s, t, e in cold_queries]
+    expected_hot = [result.replacement_length(s, t, e) for s, t, e in hot_queries]
+
+    with tempfile.TemporaryDirectory() as directory:
+        write_store(directory, result, meta=solver.store_metadata())
+        store_bytes = sum(
+            os.path.getsize(os.path.join(directory, name))
+            for name in os.listdir(directory)
+        )
+
+        # Fresh server per pass so the cold pass starts with an empty LRU.
+        with ServerThread.from_store(directory) as handle:
+            cold_qps, cold_answers = measure_pass(handle.port, cold_queries)
+            cold_cache = handle.service.status()["cache"]
+
+        with ServerThread.from_store(directory) as handle:
+            # Warm-up lap populates the LRU, then the measured pass runs
+            # almost entirely out of it.
+            measure_pass(handle.port, hot_pool)
+            warm = handle.service.status()["cache"]
+            hot_qps, hot_answers = measure_pass(handle.port, hot_queries)
+            after = handle.service.status()["cache"]
+            hot_hits = after["hits"] - warm["hits"]
+            hot_misses = after["misses"] - warm["misses"]
+
+    cold_fp = fingerprint(cold_answers)
+    hot_fp = fingerprint(hot_answers)
+    if cold_fp != fingerprint(expected_cold):
+        raise AssertionError(
+            f"cold answers diverged from in-process solve at n={n}: "
+            f"{cold_fp} != {fingerprint(expected_cold)}"
+        )
+    if hot_fp != fingerprint(expected_hot):
+        raise AssertionError(
+            f"hot answers diverged from in-process solve at n={n}: "
+            f"{hot_fp} != {fingerprint(expected_hot)}"
+        )
+
+    return {
+        "key": f"n={n},sigma={sigma},strategy={strategy}",
+        "n": n,
+        "sigma": sigma,
+        "strategy": strategy,
+        "sources": list(result.sources),
+        "num_edges": graph.num_edges,
+        "output_entries": result.output_size,
+        "preprocess_seconds": preprocess_seconds,
+        "store_bytes": store_bytes,
+        "distinct_slices": len(pool),
+        "cold": {
+            "num_queries": len(cold_queries),
+            "qps": cold_qps,
+            "lru_hit_rate": cold_cache["hit_rate"],
+        },
+        "hot": {
+            "num_queries": len(hot_queries),
+            "hot_slices": len(hot_pool),
+            "qps": hot_qps,
+            "lru_hit_rate": (
+                hot_hits / (hot_hits + hot_misses)
+                if hot_hits + hot_misses
+                else 0.0
+            ),
+        },
+        "fingerprint": cold_fp,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", help="write the JSON report here")
+    parser.add_argument("--fast", action="store_true", help="small sizes only (CI smoke mode)")
+    parser.add_argument(
+        "--sizes",
+        type=lambda text: [int(part) for part in text.split(",") if part],
+        default=None,
+        help="comma-separated vertex counts (default: 60,100)",
+    )
+    parser.add_argument("--sigma", type=int, default=DEFAULT_SIGMA)
+    parser.add_argument(
+        "--strategy", choices=("direct", "auxiliary"), default=DEFAULT_STRATEGY
+    )
+    parser.add_argument(
+        "--queries", type=int, default=DEFAULT_QUERIES,
+        help="queries per measured pass",
+    )
+    parser.add_argument(
+        "--hot-slices", type=int, default=DEFAULT_HOT_SLICES,
+        help="distinct (source, edge) slices the hot pass cycles over",
+    )
+    parser.add_argument(
+        "--note", default=None,
+        help="free-form annotation embedded in the JSON (e.g. hardware caveats)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = args.sizes if args.sizes is not None else (
+        FAST_SIZES if args.fast else DEFAULT_SIZES
+    )
+    runs = []
+    for n in sizes:
+        run = run_one(n, args.sigma, args.strategy, args.queries, args.hot_slices)
+        runs.append(run)
+        print(
+            f"{run['key']}: preprocess {run['preprocess_seconds']:.3f}s, "
+            f"store {run['store_bytes']} B, "
+            f"cold {run['cold']['qps']:.0f} qps "
+            f"(hit rate {run['cold']['lru_hit_rate']:.0%}), "
+            f"hot {run['hot']['qps']:.0f} qps "
+            f"(hit rate {run['hot']['lru_hit_rate']:.0%})"
+        )
+
+    payload: Dict = {
+        "harness": "bench_msrp_qps",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "sizes": sizes,
+            "sigma": args.sigma,
+            "strategy": args.strategy,
+            "queries": args.queries,
+            "hot_slices": args.hot_slices,
+            "fast": bool(args.fast),
+        },
+        "runs": runs,
+    }
+    if args.note:
+        payload["note"] = args.note
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -248,6 +248,22 @@ class MSRPSolver:
                 self._verify(result)
         return result
 
+    def store_metadata(self) -> Dict[str, object]:
+        """Provenance block for the on-disk store (:mod:`repro.store`).
+
+        Returns the strategy, the governing :class:`AlgorithmParams` as a
+        plain dict and the per-phase timings of the solve that produced
+        the result, so a store records how its tables were computed.
+        """
+        from dataclasses import asdict
+
+        return {
+            "strategy": self.landmark_strategy,
+            "params": asdict(self.params),
+            "sources": list(self.sources),
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
     def _verify(self, result: ReplacementPathResult) -> None:
         from repro.rp.bruteforce import brute_force_multi_source
 

@@ -86,6 +86,16 @@ class ReplacementPathResult:
         """The sources the result covers, in sorted order."""
         return tuple(sorted(self._tables))
 
+    @property
+    def graph(self) -> Optional[Graph]:
+        """The originating graph, when the result carries one.
+
+        A graph-backed result validates edge queries against the real edge
+        set; the on-disk store (:mod:`repro.store`) persists the graph so
+        that validation survives a save/load round-trip.
+        """
+        return self._graph
+
     def source_tree(self, source: int) -> ShortestPathTree:
         """The BFS tree that defines the canonical paths from ``source``."""
         return self._trees[self._require_source(source)]
@@ -141,6 +151,15 @@ class ReplacementPathResult:
                 "stored replacement length; the result tables are incomplete"
             )
         return tree.distance(target)
+
+    def require_edge(self, edge: Sequence[int]) -> Edge:
+        """Validate and normalise ``edge`` exactly as the query path does.
+
+        Public so serving layers that answer queries from cached slices
+        (bypassing :meth:`replacement_length`) apply the same non-edge
+        rejection; returns the normalised ``(min, max)`` tuple.
+        """
+        return self._require_edge(edge)
 
     def replacement_lengths(self, source: int, target: int) -> Dict[Edge, float]:
         """All stored ``edge -> length`` entries for a ``(source, target)`` pair."""
@@ -202,6 +221,33 @@ class ReplacementPathResult:
     def matches(self, reference: Mapping[int, PerSourceTable]) -> bool:
         """``True`` when the result agrees entirely with ``reference``."""
         return not self.differences_from(reference)
+
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self):
+        """Explicit pickled form: tables, trees and the graph reference.
+
+        Without these methods a ``__slots__`` class pickles through the
+        default reduce protocol, which restores the slots *directly* —
+        skipping the constructor and therefore the ``math.inf``
+        re-canonicalisation it performs.  An unpickled result would then
+        hold ``inf`` objects that are ``== math.inf`` but not ``is
+        math.inf``, silently breaking the byte-identical-parallelism
+        invariant (benchmark fingerprints, ``is math.inf`` callers).
+
+        The graph reference is part of the state on purpose: dropping it
+        would downgrade ``_require_edge`` to the permissive vertex-range
+        check, re-opening the non-edge-query hole for round-tripped
+        results.
+        """
+        return (self._tables, self._trees, self._graph)
+
+    def __setstate__(self, state) -> None:
+        tables, trees, graph = state
+        # Route restoration through the constructor so every invariant it
+        # establishes (inf canonicalisation, source/tree consistency,
+        # vertex bound) holds for unpickled results too.
+        self.__init__(tables, trees, graph=graph)
 
     # -- internals ---------------------------------------------------------------
 

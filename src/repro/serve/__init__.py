@@ -1,0 +1,32 @@
+"""Long-lived query serving over a persistent oracle store.
+
+The *query often* half of the preprocess/serve split:
+:mod:`repro.serve.server` answers ``d(s, t, avoiding=e)`` point queries,
+batches and sweeps over asyncio HTTP from a loaded :mod:`repro.store`
+directory, and :mod:`repro.serve.client` is the matching keep-alive
+client used by the ``repro-msrp query``/``status`` CLI, the test-suite
+and the QPS benchmark.
+"""
+
+from repro.serve.client import QueryClient, RemoteQueryError
+from repro.serve.server import (
+    DEFAULT_LRU_SLICES,
+    OracleService,
+    QueryServer,
+    ServerThread,
+    SliceCache,
+    make_server,
+    serve_store,
+)
+
+__all__ = [
+    "DEFAULT_LRU_SLICES",
+    "OracleService",
+    "QueryClient",
+    "QueryServer",
+    "RemoteQueryError",
+    "ServerThread",
+    "SliceCache",
+    "make_server",
+    "serve_store",
+]

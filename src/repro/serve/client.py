@@ -1,0 +1,170 @@
+"""HTTP client for the oracle query server (``repro-msrp query``/``status``).
+
+A thin ``APIClient``-style wrapper (modelled on the PrimeIntellect client
+pattern) over :mod:`http.client`: one persistent keep-alive connection,
+JSON in/out, and server-side :class:`~repro.exceptions.ReproError`
+subclasses re-raised locally as the same exception types — a client that
+asks for a non-edge gets the same :class:`InvalidParameterError` it would
+get from an in-process :class:`~repro.core.result.ReplacementPathResult`.
+
+Every returned length is re-canonicalised onto the ``math.inf`` singleton,
+so values fetched over the wire are ``is math.inf``-indistinguishable from
+an in-process solve — the same invariant the parallel layer maintains for
+pickled results.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from urllib.parse import urlencode
+
+from repro.exceptions import (
+    InvalidParameterError,
+    NotOnPathError,
+    ReproError,
+)
+
+#: Server-reported exception type -> local class, so remote validation
+#: errors raise identically to in-process ones.
+_REMOTE_TYPES = {
+    "InvalidParameterError": InvalidParameterError,
+    "NotOnPathError": NotOnPathError,
+}
+
+
+class RemoteQueryError(ReproError):
+    """An error reported by the query server that has no local mapping."""
+
+
+def _decode_length(payload: Dict[str, object]) -> float:
+    if payload.get("infinite"):
+        return math.inf
+    value = payload.get("length")
+    # Re-canonicalise: json produces fresh float objects, and a value that
+    # happens to equal inf must become *the* singleton.
+    return math.inf if value == math.inf else float(value)
+
+
+def _raise_remote(payload: Dict[str, object], status: int) -> None:
+    message = payload.get("error", f"server returned HTTP {status}")
+    cls = _REMOTE_TYPES.get(payload.get("type"), RemoteQueryError)
+    raise cls(message)
+
+
+class QueryClient:
+    """Persistent-connection client for one query server.
+
+    Parameters
+    ----------
+    host, port:
+        The serving endpoint (``repro-msrp serve`` prints both).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8351, timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Dict[str, object]:
+        headers = {"Connection": "keep-alive"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        try:
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+            status = response.status
+        except (OSError, http.client.HTTPException) as exc:
+            # One reconnect attempt: the server may have dropped an idle
+            # keep-alive connection between requests.
+            self.close()
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = json.loads(response.read().decode("utf-8"))
+                status = response.status
+            except (OSError, http.client.HTTPException) as retry_exc:
+                self.close()
+                raise RemoteQueryError(
+                    f"query server at {self.host}:{self.port} unreachable: "
+                    f"{retry_exc}"
+                ) from exc
+        if status != 200:
+            _raise_remote(payload, status)
+        return payload
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- API ---------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """The server's ``/status`` block (store header, uptime, hit rate)."""
+        return self._request("GET", "/status")
+
+    def query(self, source: int, target: int, edge: Sequence[int]) -> float:
+        """``d(source, target, avoiding=edge)`` from the served store."""
+        params = urlencode(
+            {"source": int(source), "target": int(target),
+             "u": int(edge[0]), "v": int(edge[1])}
+        )
+        return _decode_length(self._request("GET", f"/query?{params}"))
+
+    def query_batch(
+        self, queries: Iterable[Tuple[int, int, Sequence[int]]]
+    ) -> List[float]:
+        """Batched point queries; raises on the first failed item."""
+        body = json.dumps(
+            {
+                "queries": [
+                    {"source": int(s), "target": int(t),
+                     "edge": [int(e[0]), int(e[1])]}
+                    for s, t, e in queries
+                ]
+            }
+        ).encode("utf-8")
+        payload = self._request("POST", "/query", body=body)
+        answers: List[float] = []
+        for item in payload["results"]:
+            if "error" in item:
+                _raise_remote(item, 400)
+            answers.append(_decode_length(item))
+        return answers
+
+    def sweep(self, source: int, edge: Sequence[int]) -> Dict[int, float]:
+        """All targets' replacement lengths for one ``(source, edge)``."""
+        params = urlencode(
+            {"source": int(source), "u": int(edge[0]), "v": int(edge[1])}
+        )
+        payload = self._request("GET", f"/sweep?{params}")
+        return {
+            int(target): (math.inf if value is None else float(value))
+            for target, value in payload["lengths"]
+        }

@@ -1,0 +1,554 @@
+"""Long-lived asyncio query server over a loaded oracle store.
+
+The *query often* half of the serving split: ``repro-msrp serve --store
+DIR`` loads a store once and then answers ``d(s, t, avoiding=e)`` point
+queries, batched sweeps and status probes over HTTP for as long as the
+process lives.  The implementation is stdlib-only (``asyncio.start_server``
+plus a minimal HTTP/1.1 layer with keep-alive), so the serving tier adds no
+dependencies to the container.
+
+Endpoints
+---------
+``GET /status``
+    Store header summary, uptime, query counters, LRU hit rate and the
+    lifetime queries/sec.
+``GET /query?source=S&target=T&u=U&v=V``
+    One replacement length.  The response encodes infinite lengths as
+    ``{"length": null, "infinite": true}`` so the body stays strict JSON.
+``POST /query``
+    Batched sweep: body ``{"queries": [{"source", "target", "edge"}, ...]}``;
+    each item resolves independently to an answer or an error object, so
+    one bad query does not fail the batch.
+``GET /sweep?source=S&u=U&v=V``
+    The full ``(source, edge)`` slice: replacement lengths for every
+    vertex, served straight from the LRU.
+
+Caching
+-------
+Answers are grouped by ``(source, edge)`` *slice*: the per-target lengths
+for one failed edge seen from one source.  A point query materialises its
+slice once (one pass over the source's table and tree) and the LRU keeps
+the hottest slices resident, so repeated traffic against a hot
+``(source, edge)`` pair — the access pattern of an incident analysis, where
+one failure is probed against many destinations — degenerates to a dict
+lookup per query.  ``/status`` reports the hit rate so the
+``bench_msrp_qps`` harness can attribute cold/hot throughput to the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.result import ReplacementPathResult
+from repro.exceptions import (
+    InvalidParameterError,
+    NotOnPathError,
+    ReproError,
+)
+from repro.graph.graph import Edge, normalize_edge
+from repro.store.format import StoreHeader, load_store
+
+#: Default LRU capacity (hot (source, edge) slices kept resident).
+DEFAULT_LRU_SLICES = 256
+#: Largest request body the server will read (1 MiB).
+MAX_BODY_BYTES = 1 << 20
+
+_JSON_HEADERS = "Content-Type: application/json\r\n"
+
+
+class SliceCache:
+    """LRU over ``(source, edge) -> {target: length}`` slices."""
+
+    def __init__(self, capacity: int = DEFAULT_LRU_SLICES):
+        if capacity < 0:
+            raise InvalidParameterError("LRU capacity must be non-negative")
+        self.capacity = capacity
+        self._slices: "OrderedDict[Tuple[int, Edge], Dict[int, float]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    def get(self, key: Tuple[int, Edge]) -> Optional[Dict[int, float]]:
+        entry = self._slices.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._slices.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple[int, Edge], value: Dict[int, float]) -> None:
+        if self.capacity == 0:
+            return
+        self._slices[key] = value
+        self._slices.move_to_end(key)
+        while len(self._slices) > self.capacity:
+            self._slices.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class OracleService:
+    """Query façade over a loaded result: validation, slices, counters.
+
+    Transport-agnostic on purpose — the asyncio HTTP server below, the
+    test-suite and the QPS benchmark all drive the same object.
+    """
+
+    def __init__(
+        self,
+        result: ReplacementPathResult,
+        header: Optional[StoreHeader] = None,
+        lru_slices: int = DEFAULT_LRU_SLICES,
+    ):
+        self.result = result
+        self.header = header
+        self.cache = SliceCache(lru_slices)
+        self.started_at = time.time()
+        self.point_queries = 0
+        self.sweep_queries = 0
+        self._sources = frozenset(result.sources)
+
+    # -- query surface -----------------------------------------------------
+
+    def _slice(self, source: int, edge: Edge) -> Dict[int, float]:
+        """The per-target lengths of one ``(source, edge)`` pair, cached."""
+        key = (source, edge)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.result
+        tree = result.source_tree(source)
+        per_source = result.table(source)
+        inf = math.inf
+        lengths: Dict[int, float] = {}
+        for target in range(tree.num_vertices):
+            per_target = per_source.get(target)
+            if per_target is not None and edge in per_target:
+                lengths[target] = per_target[edge]
+            elif not tree.is_reachable(target):
+                lengths[target] = inf
+            else:
+                # Not on the canonical path: deleting the edge cannot
+                # change the distance (same fall-through as
+                # ``replacement_length``, hoisted out of the per-query path).
+                lengths[target] = tree.distance(target)
+        self.cache.put(key, lengths)
+        return lengths
+
+    def _require_source(self, source: int) -> int:
+        s = int(source)
+        if s not in self._sources:
+            raise InvalidParameterError(
+                f"{s} is not one of the served sources {sorted(self._sources)}"
+            )
+        return s
+
+    def _require_vertex(self, value: int, role: str) -> int:
+        n = self.result.graph.num_vertices if self.result.graph else 0
+        v = int(value)
+        if not 0 <= v < n:
+            raise InvalidParameterError(
+                f"{role} {v} is outside the vertex range 0..{n - 1}"
+            )
+        return v
+
+    def point_query(self, source: int, target: int, edge) -> float:
+        """``d(source, target, avoiding=edge)`` via the slice cache."""
+        source = self._require_source(source)
+        target = self._require_vertex(target, "target")
+        # Full edge validation first (the store always carries the graph),
+        # so a cached slice can never mask a non-edge query.
+        e = self.result.require_edge(edge)
+        self.point_queries += 1
+        return self._slice(source, e)[target]
+
+    def sweep(self, source: int, edge) -> Dict[int, float]:
+        """All targets' replacement lengths for one ``(source, edge)``."""
+        source = self._require_source(source)
+        e = self.result.require_edge(edge)
+        self.sweep_queries += 1
+        return self._slice(source, e)
+
+    # -- status ------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        uptime = time.time() - self.started_at
+        total = self.point_queries + self.sweep_queries
+        return {
+            "store": self.header.summary() if self.header else None,
+            "sources": list(self.result.sources),
+            "output_entries": self.result.output_size,
+            "uptime_seconds": uptime,
+            "point_queries": self.point_queries,
+            "sweep_queries": self.sweep_queries,
+            "qps": total / uptime if uptime > 0 else 0.0,
+            "cache": {
+                "slices": len(self.cache),
+                "capacity": self.cache.capacity,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+            },
+        }
+
+
+def _encode_length(value: float) -> Dict[str, object]:
+    """Strict-JSON encoding of one answer (``inf`` -> null + flag)."""
+    if value == math.inf:
+        return {"length": None, "infinite": True}
+    return {"length": value, "infinite": False}
+
+
+class QueryServer:
+    """Minimal asyncio HTTP/1.1 server around an :class:`OracleService`."""
+
+    def __init__(
+        self,
+        service: OracleService,
+        host: str = "127.0.0.1",
+        port: int = 8351,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: live connections, so stop() can close them and let their
+        #: handler tasks drain via EOF (cancelling stream-handler tasks
+        #: is noisy on 3.11: the protocol's done-callback re-raises).
+        self._connections: set = set()
+        #: handler tasks; entries leave via done-callback, so stop() sees
+        #: a handler that is mid-teardown and can await its completion.
+        self._tasks: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (``port=0`` picks an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        tasks = list(self._tasks)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        self._connections.add(writer)
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, raw_path, _version = (
+                        request_line.decode("latin-1").strip().split(" ", 2)
+                    )
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "malformed request line"})
+                    break
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                body = b""
+                length = int(headers.get("content-length", 0) or 0)
+                if length:
+                    if length > MAX_BODY_BYTES:
+                        await self._respond(
+                            writer, 413, {"error": "request body too large"}
+                        )
+                        break
+                    body = await reader.readexactly(length)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                status, payload = self._dispatch(method, raw_path, body)
+                await self._respond(writer, status, payload, keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        keep_alive: bool = False,
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 413: "Payload Too Large",
+                  500: "Internal Server Error"}.get(status, "OK")
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"{_JSON_HEADERS}"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+
+    def _dispatch(
+        self, method: str, raw_path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        parts = urlsplit(raw_path)
+        path = parts.path
+        try:
+            if path == "/status":
+                if method != "GET":
+                    return 405, {"error": f"{method} not allowed on {path}"}
+                return 200, self.service.status()
+            if path == "/query" and method == "GET":
+                return self._point_query(parse_qs(parts.query))
+            if path == "/query" and method == "POST":
+                return self._batch_query(body)
+            if path == "/sweep":
+                if method != "GET":
+                    return 405, {"error": f"{method} not allowed on {path}"}
+                return self._sweep(parse_qs(parts.query))
+            return 404, {"error": f"unknown path {path!r}"}
+        except ReproError as exc:
+            return 400, {"error": str(exc), "type": type(exc).__name__}
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            return 500, {"error": str(exc), "type": type(exc).__name__}
+
+    @staticmethod
+    def _int_param(params: Dict[str, List[str]], name: str) -> int:
+        values = params.get(name)
+        if not values:
+            raise InvalidParameterError(f"missing query parameter {name!r}")
+        try:
+            return int(values[0])
+        except ValueError:
+            raise InvalidParameterError(
+                f"query parameter {name!r} must be an integer, got {values[0]!r}"
+            ) from None
+
+    def _point_query(self, params) -> Tuple[int, Dict[str, object]]:
+        source = self._int_param(params, "source")
+        target = self._int_param(params, "target")
+        u = self._int_param(params, "u")
+        v = self._int_param(params, "v")
+        value = self.service.point_query(source, target, (u, v))
+        answer: Dict[str, object] = {
+            "source": source,
+            "target": target,
+            "edge": list(normalize_edge(u, v)),
+        }
+        answer.update(_encode_length(value))
+        return 200, answer
+
+    def _batch_query(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise InvalidParameterError(f"malformed JSON body: {exc}") from exc
+        queries = request.get("queries") if isinstance(request, dict) else None
+        if not isinstance(queries, list):
+            raise InvalidParameterError(
+                'POST /query body must be {"queries": [...]}'
+            )
+        results: List[Dict[str, object]] = []
+        for item in queries:
+            try:
+                source = int(item["source"])
+                target = int(item["target"])
+                u, v = (int(x) for x in item["edge"])
+            except (KeyError, TypeError, ValueError) as exc:
+                results.append(
+                    {"error": f"malformed query {item!r}: {exc}",
+                     "type": "InvalidParameterError"}
+                )
+                continue
+            try:
+                value = self.service.point_query(source, target, (u, v))
+            except ReproError as exc:
+                results.append({"error": str(exc), "type": type(exc).__name__})
+                continue
+            answer: Dict[str, object] = {
+                "source": source,
+                "target": target,
+                "edge": list(normalize_edge(u, v)),
+            }
+            answer.update(_encode_length(value))
+            results.append(answer)
+        return 200, {"results": results}
+
+    def _sweep(self, params) -> Tuple[int, Dict[str, object]]:
+        source = self._int_param(params, "source")
+        u = self._int_param(params, "u")
+        v = self._int_param(params, "v")
+        lengths = self.service.sweep(source, (u, v))
+        return 200, {
+            "source": source,
+            "edge": list(normalize_edge(u, v)),
+            "lengths": [
+                [target, None if value == math.inf else value]
+                for target, value in sorted(lengths.items())
+            ],
+        }
+
+
+def make_server(
+    store_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8351,
+    lru_slices: int = DEFAULT_LRU_SLICES,
+) -> QueryServer:
+    """Load ``store_dir`` and wrap it in an unstarted :class:`QueryServer`."""
+    result, header = load_store(store_dir)
+    service = OracleService(result, header, lru_slices=lru_slices)
+    return QueryServer(service, host=host, port=port)
+
+
+def serve_store(
+    store_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8351,
+    lru_slices: int = DEFAULT_LRU_SLICES,
+) -> int:
+    """Blocking entry point used by ``repro-msrp serve``.
+
+    Loads the store, prints one line describing what is being served, and
+    runs the event loop until interrupted.
+    """
+    server = make_server(store_dir, host=host, port=port, lru_slices=lru_slices)
+    header = server.service.header
+    print(
+        f"serving store {store_dir} "
+        f"(n={header.num_vertices}, m={header.num_edges}, "
+        f"sources={header.sources}) on http://{host}:{port}"
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(f"listening on http://{server.host}:{server.port}")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+class ServerThread:
+    """A :class:`QueryServer` running on a daemon thread's event loop.
+
+    Tests and the QPS benchmark need a live HTTP endpoint in-process; this
+    helper owns the loop/thread pair and tears both down on ``stop()``.
+    Use as a context manager::
+
+        with ServerThread.from_store(store_dir) as handle:
+            client = QueryClient(port=handle.port)
+    """
+
+    def __init__(self, server: QueryServer):
+        import threading
+
+        self._server = server
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @classmethod
+    def from_store(cls, store_dir: str, lru_slices: int = DEFAULT_LRU_SLICES) -> "ServerThread":
+        return cls(make_server(store_dir, port=0, lru_slices=lru_slices))
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ReplacementPathResult,
+        header: Optional[StoreHeader] = None,
+        lru_slices: int = DEFAULT_LRU_SLICES,
+    ) -> "ServerThread":
+        service = OracleService(result, header, lru_slices=lru_slices)
+        return cls(QueryServer(service, port=0))
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self._server.start())
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self._server.stop())
+            self._loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("query server failed to start within 10s")
+        return self
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def service(self) -> OracleService:
+        return self._server.service
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,33 @@
+"""Persistent on-disk store for preprocessed replacement-path oracles.
+
+The *preprocess once, query often* half of the serving split: persist a
+solved :class:`~repro.core.result.ReplacementPathResult` to a versioned
+directory format and load it back — graph attached, infinities
+re-canonicalised — without re-running any preprocessing.  See
+:mod:`repro.store.format` for the format specification and
+:mod:`repro.serve` for the query-serving half.
+"""
+
+from repro.store.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    MANIFEST_NAME,
+    SEGMENTS_NAME,
+    StoreHeader,
+    graph_fingerprint,
+    load_header,
+    load_store,
+    write_store,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "MANIFEST_NAME",
+    "SEGMENTS_NAME",
+    "StoreHeader",
+    "graph_fingerprint",
+    "load_header",
+    "load_store",
+    "write_store",
+]

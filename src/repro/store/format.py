@@ -1,0 +1,431 @@
+"""Versioned on-disk format for preprocessed replacement-path oracles.
+
+The paper's premise is *preprocess once, query often*: the expensive
+:class:`~repro.core.msrp.MSRPSolver` run happens once, and the resulting
+``d(s, t, avoiding=e)`` tables are then served to queries indefinitely.
+This module is the "once" half of that split — it persists a
+:class:`~repro.core.result.ReplacementPathResult` to a directory and loads
+it back without re-deriving anything.
+
+Layout
+------
+A store is a directory with exactly two files::
+
+    <store>/
+        MANIFEST.json   # header: magic, version, fingerprints, segment table
+        segments.bin    # concatenated flat typed-array segments
+
+**MANIFEST.json** is the header.  Its fields:
+
+``magic``
+    The literal string ``"repro-msrp-store"``.  Anything else is rejected.
+``format_version``
+    Integer, currently ``1``.  Readers reject any other value loudly —
+    the format is versioned precisely so a future layout change cannot be
+    misread as garbage data.
+``byteorder``
+    ``"little"`` or ``"big"`` — the byte order of the writing host.
+    Loaders byteswap when it differs from theirs, so stores are portable.
+``graph``
+    ``{"num_vertices", "num_edges", "fingerprint"}`` where ``fingerprint``
+    is the SHA-256 of the canonical edge list (:func:`graph_fingerprint`).
+    On load the fingerprint is recomputed from the decoded edge segments
+    and must match — a store whose header and payload disagree (truncated
+    copy, concatenated stores, manual edits) is rejected, not served.
+``sources``
+    The source set the tables cover, sorted.
+``segments``
+    The segment table: one ``{"name", "typecode", "count", "offset",
+    "nbytes"}`` descriptor per typed-array segment in ``segments.bin``.
+``segments_sha256``
+    SHA-256 of the entire ``segments.bin`` payload; verified before any
+    segment is decoded.
+``meta``
+    Free-form provenance (strategy, :class:`AlgorithmParams` fields,
+    phase timings) — informational, not validated.
+
+**segments.bin** concatenates plain :mod:`array` buffers.  Per source
+``s`` the store carries the BFS tree (``tree/<s>/parent`` with ``-1`` for
+*no parent*, ``tree/<s>/dist`` as ``'d'`` with ``inf`` for unreachable,
+``tree/<s>/order``) and the flattened replacement table
+(``table/<s>/targets``, ``table/<s>/counts``, ``table/<s>/edge_u``,
+``table/<s>/edge_v``, ``table/<s>/values``), plus the graph edge list
+(``graph/edge_u``, ``graph/edge_v``).  Tables are flattened in dict
+iteration order and rebuilt in the same order, so a loaded result iterates
+— and therefore fingerprints — identically to the in-process one.
+
+Loading re-canonicalises every infinite value onto the ``math.inf``
+singleton (tree distances and table values), preserving the
+``is math.inf`` identity invariant the hot paths and benchmark
+fingerprints rely on.  The graph itself is persisted and reattached, so
+edge validation (``replacement_length`` rejecting non-edges) survives the
+round-trip.
+
+Versioning policy
+-----------------
+``FORMAT_VERSION`` bumps on any incompatible layout change; readers never
+attempt cross-version migration — they raise
+:class:`~repro.exceptions.InvalidParameterError` naming both versions, and
+the caller re-preprocesses.  Additive, backwards-compatible information
+goes into ``meta``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import sys
+import time
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.result import PerSourceTable, ReplacementPathResult
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.graph.tree import ShortestPathTree
+
+#: First bytes of every manifest; anything else is not a store.
+MAGIC = "repro-msrp-store"
+#: Current (and only) on-disk layout version.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+SEGMENTS_NAME = "segments.bin"
+
+#: Sentinel for "no parent" in the ``'i'`` parent segments.
+_NO_PARENT = -1
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """SHA-256 over the canonical encoding of ``graph``.
+
+    The encoding is textual (vertex count, then the sorted normalised edge
+    list), so the fingerprint is independent of host byte order and of how
+    the graph object was constructed.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"n={graph.num_vertices};".encode("ascii"))
+    for u, v in graph.edges():
+        digest.update(f"{u},{v};".encode("ascii"))
+    return digest.hexdigest()
+
+
+@dataclass
+class StoreHeader:
+    """Decoded view of a store's ``MANIFEST.json``."""
+
+    magic: str
+    format_version: int
+    byteorder: str
+    created_at: str
+    num_vertices: int
+    num_edges: int
+    fingerprint: str
+    sources: List[int]
+    segments_sha256: str
+    meta: Dict[str, object] = field(default_factory=dict)
+    #: the raw manifest dict, including the segment table
+    manifest: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_manifest(cls, manifest: Mapping[str, object]) -> "StoreHeader":
+        graph_info = manifest.get("graph", {})
+        return cls(
+            magic=manifest.get("magic", ""),
+            format_version=manifest.get("format_version", -1),
+            byteorder=manifest.get("byteorder", sys.byteorder),
+            created_at=manifest.get("created_at", ""),
+            num_vertices=graph_info.get("num_vertices", 0),
+            num_edges=graph_info.get("num_edges", 0),
+            fingerprint=graph_info.get("fingerprint", ""),
+            sources=list(manifest.get("sources", [])),
+            segments_sha256=manifest.get("segments_sha256", ""),
+            meta=dict(manifest.get("meta", {})),
+            manifest=dict(manifest),
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """The compact header block the serving layer reports in /status."""
+        return {
+            "format_version": self.format_version,
+            "created_at": self.created_at,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "graph_fingerprint": self.fingerprint,
+            "sources": self.sources,
+            "strategy": self.meta.get("strategy"),
+        }
+
+
+class _SegmentWriter:
+    """Accumulates typed-array segments and their manifest descriptors."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+        self._descriptors: List[Dict[str, object]] = []
+        self._offset = 0
+
+    def add(self, name: str, typecode: str, values) -> None:
+        data = array(typecode, values)
+        raw = data.tobytes()
+        self._descriptors.append(
+            {
+                "name": name,
+                "typecode": typecode,
+                "count": len(data),
+                "offset": self._offset,
+                "nbytes": len(raw),
+            }
+        )
+        self._chunks.append(raw)
+        self._offset += len(raw)
+
+    def payload(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def descriptors(self) -> List[Dict[str, object]]:
+        return self._descriptors
+
+
+class _SegmentReader:
+    """Decodes segments out of a verified ``segments.bin`` payload."""
+
+    def __init__(self, payload: bytes, manifest: Mapping[str, object]):
+        self._payload = payload
+        self._byteorder = manifest.get("byteorder", sys.byteorder)
+        self._by_name: Dict[str, Dict[str, object]] = {}
+        for descriptor in manifest.get("segments", []):
+            self._by_name[descriptor["name"]] = descriptor
+
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+    def read(self, name: str):
+        descriptor = self._by_name.get(name)
+        if descriptor is None:
+            raise InvalidParameterError(
+                f"store is missing required segment {name!r}; the manifest "
+                f"lists {sorted(self._by_name)}"
+            )
+        offset = descriptor["offset"]
+        nbytes = descriptor["nbytes"]
+        raw = self._payload[offset : offset + nbytes]
+        if len(raw) != nbytes:
+            raise InvalidParameterError(
+                f"segment {name!r} is truncated: manifest promises {nbytes} "
+                f"bytes at offset {offset}, payload has {len(raw)}"
+            )
+        data = array(descriptor["typecode"])
+        data.frombytes(raw)
+        if len(data) != descriptor["count"]:
+            raise InvalidParameterError(
+                f"segment {name!r} decoded to {len(data)} items, manifest "
+                f"promises {descriptor['count']}"
+            )
+        if self._byteorder != sys.byteorder:
+            data.byteswap()
+        return data
+
+
+def _flatten_table(per_source: PerSourceTable) -> Tuple[List[int], List[int], List[int], List[int], List[float]]:
+    """Flatten one source's ``target -> edge -> value`` dict, order-preserving."""
+    targets: List[int] = []
+    counts: List[int] = []
+    edge_u: List[int] = []
+    edge_v: List[int] = []
+    values: List[float] = []
+    for target, per_target in per_source.items():
+        targets.append(target)
+        counts.append(len(per_target))
+        for (u, v), value in per_target.items():
+            edge_u.append(u)
+            edge_v.append(v)
+            values.append(value)
+    return targets, counts, edge_u, edge_v, values
+
+
+def write_store(
+    directory: str,
+    result: ReplacementPathResult,
+    meta: Optional[Mapping[str, object]] = None,
+) -> StoreHeader:
+    """Persist ``result`` to ``directory`` in the versioned store format.
+
+    The result must carry a graph reference (every result produced by
+    :meth:`MSRPSolver.solve` does) — the graph is part of the format so
+    edge validation works on load.  ``meta`` is an optional provenance
+    block (e.g. :meth:`MSRPSolver.store_metadata`).  Returns the header
+    that was written.
+    """
+    graph = result.graph
+    if graph is None:
+        raise InvalidParameterError(
+            "cannot store a graph-less ReplacementPathResult: the store "
+            "format persists the edge set so non-edge queries stay rejected "
+            "after a round-trip"
+        )
+
+    writer = _SegmentWriter()
+    edges = graph.edges()
+    writer.add("graph/edge_u", "i", (u for u, _ in edges))
+    writer.add("graph/edge_v", "i", (v for _, v in edges))
+
+    for s in result.sources:
+        tree = result.source_tree(s)
+        writer.add(
+            f"tree/{s}/parent",
+            "i",
+            (_NO_PARENT if p is None else p for p in tree.parent),
+        )
+        writer.add(f"tree/{s}/dist", "d", tree.dist)
+        writer.add(f"tree/{s}/order", "i", tree.order)
+        targets, counts, edge_u, edge_v, values = _flatten_table(result.table(s))
+        writer.add(f"table/{s}/targets", "i", targets)
+        writer.add(f"table/{s}/counts", "i", counts)
+        writer.add(f"table/{s}/edge_u", "i", edge_u)
+        writer.add(f"table/{s}/edge_v", "i", edge_v)
+        writer.add(f"table/{s}/values", "d", values)
+
+    payload = writer.payload()
+    manifest: Dict[str, object] = {
+        "magic": MAGIC,
+        "format_version": FORMAT_VERSION,
+        "byteorder": sys.byteorder,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "graph": {
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "fingerprint": graph_fingerprint(graph),
+        },
+        "sources": list(result.sources),
+        "segments": writer.descriptors(),
+        "segments_sha256": hashlib.sha256(payload).hexdigest(),
+        "meta": dict(meta) if meta else {},
+    }
+
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, SEGMENTS_NAME), "wb") as handle:
+        handle.write(payload)
+    with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return StoreHeader.from_manifest(manifest)
+
+
+def _read_manifest(directory: str) -> Dict[str, object]:
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise InvalidParameterError(
+            f"{directory!r} is not an oracle store: no {MANIFEST_NAME}"
+        ) from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise InvalidParameterError(
+            f"corrupted store header {path!r}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise InvalidParameterError(
+            f"{path!r} is not an oracle store manifest (expected a JSON "
+            f"object, got {type(manifest).__name__})"
+        )
+    if manifest.get("magic") != MAGIC:
+        raise InvalidParameterError(
+            f"{path!r} is not an oracle store manifest: bad magic "
+            f"{manifest.get('magic')!r}, expected {MAGIC!r}"
+        )
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"store format version mismatch: {path!r} has version "
+            f"{version!r}, this build reads version {FORMAT_VERSION}; "
+            "re-run `repro-msrp preprocess` to rebuild the store"
+        )
+    return manifest
+
+
+def load_header(directory: str) -> StoreHeader:
+    """Read and validate only the store header (cheap; no segment decode)."""
+    return StoreHeader.from_manifest(_read_manifest(directory))
+
+
+def load_store(directory: str) -> Tuple[ReplacementPathResult, StoreHeader]:
+    """Load a store back into a queryable result.
+
+    Validates, in order: manifest magic and format version, the SHA-256 of
+    the segment payload, and the graph fingerprint (recomputed from the
+    decoded edge segments against the header's claim).  Any mismatch
+    raises :class:`~repro.exceptions.InvalidParameterError` naming the
+    expected and actual values.  All infinities are re-canonicalised onto
+    the ``math.inf`` singleton on the way in.
+    """
+    manifest = _read_manifest(directory)
+    header = StoreHeader.from_manifest(manifest)
+
+    segments_path = os.path.join(directory, SEGMENTS_NAME)
+    try:
+        with open(segments_path, "rb") as handle:
+            payload = handle.read()
+    except FileNotFoundError:
+        raise InvalidParameterError(
+            f"store {directory!r} has a manifest but no {SEGMENTS_NAME}"
+        ) from None
+    actual_sha = hashlib.sha256(payload).hexdigest()
+    if actual_sha != header.segments_sha256:
+        raise InvalidParameterError(
+            f"store segment payload is corrupted: manifest records sha256 "
+            f"{header.segments_sha256}, {SEGMENTS_NAME} hashes to {actual_sha}"
+        )
+
+    reader = _SegmentReader(payload, manifest)
+    edge_u = reader.read("graph/edge_u")
+    edge_v = reader.read("graph/edge_v")
+    graph = Graph(header.num_vertices, zip(edge_u, edge_v))
+    actual_fingerprint = graph_fingerprint(graph)
+    if actual_fingerprint != header.fingerprint:
+        raise InvalidParameterError(
+            f"store graph fingerprint mismatch: manifest records "
+            f"{header.fingerprint}, decoded edge segments fingerprint to "
+            f"{actual_fingerprint}; the header does not describe this payload"
+        )
+
+    inf = math.inf
+    tables: Dict[int, PerSourceTable] = {}
+    trees: Dict[int, ShortestPathTree] = {}
+    for s in header.sources:
+        parent_raw = reader.read(f"tree/{s}/parent")
+        dist_raw = reader.read(f"tree/{s}/dist")
+        order = reader.read(f"tree/{s}/order")
+        parent = [None if p == _NO_PARENT else p for p in parent_raw]
+        dist = [inf if d == inf else d for d in dist_raw]
+        trees[s] = ShortestPathTree(s, parent, dist, list(order))
+
+        targets = reader.read(f"table/{s}/targets")
+        counts = reader.read(f"table/{s}/counts")
+        edge_u = reader.read(f"table/{s}/edge_u")
+        edge_v = reader.read(f"table/{s}/edge_v")
+        values = reader.read(f"table/{s}/values")
+        per_source: PerSourceTable = {}
+        cursor = 0
+        for target, count in zip(targets, counts):
+            per_target: Dict[Tuple[int, int], float] = {}
+            for i in range(cursor, cursor + count):
+                value = values[i]
+                per_target[(edge_u[i], edge_v[i])] = inf if value == inf else value
+            cursor += count
+            per_source[target] = per_target
+        if cursor != len(values):
+            raise InvalidParameterError(
+                f"table segments for source {s} are inconsistent: counts sum "
+                f"to {cursor}, values segment has {len(values)} entries"
+            )
+        tables[s] = per_source
+
+    # The constructor re-canonicalises values a second time (harmless) and
+    # re-checks the source/tree consistency invariants.
+    result = ReplacementPathResult(tables, trees, graph=graph)
+    return result, header

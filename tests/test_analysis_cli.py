@@ -91,3 +91,100 @@ class TestCLI:
     def test_bmm_command(self, capsys):
         assert main(["bmm", "--size", "8", "--density", "0.3", "--seed", "3"]) == 0
         assert "matches naive product: yes" in capsys.readouterr().out
+
+
+class TestCLIVerifyFailure:
+    """Regression: a failing ``--verify`` must exit 1 cleanly, not traceback.
+
+    The module docstring promises "exits with a non-zero status if the
+    optional self-verification against brute force fails"; before the fix
+    the :class:`~repro.exceptions.InternalInvariantError` escaped
+    ``main()`` as an unhandled traceback.  The brute-force oracle is
+    monkeypatched to disagree so the mismatch path is deterministic.
+    """
+
+    def test_forced_mismatch_exits_one_with_summary(self, capsys, monkeypatch):
+        import repro.rp.bruteforce as bruteforce
+
+        def wrong_oracle(graph, sources, workers=0, pool=None):
+            # An empty reference disagrees with every computed entry.
+            return {int(s): {} for s in sources}
+
+        monkeypatch.setattr(bruteforce, "brute_force_multi_source", wrong_oracle)
+        code = main(
+            ["msrp", "--n", "16", "--sigma", "2", "--extra-edges", "14",
+             "--seed", "4", "--verify"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "disagrees with brute force" in captured.err
+        assert "PASSED" not in captured.out
+
+    def test_honest_verify_still_passes(self, capsys):
+        assert (
+            main(["msrp", "--n", "16", "--sigma", "2", "--extra-edges", "14",
+                  "--seed", "4", "--verify"])
+            == 0
+        )
+        assert "PASSED" in capsys.readouterr().out
+
+
+class TestCLILifecycle:
+    """``preprocess -> serve -> query/status`` driven through the CLI."""
+
+    def test_preprocess_writes_loadable_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code = main(
+            ["preprocess", "--n", "20", "--extra-edges", "24", "--sigma", "2",
+             "--seed", "7", "--strategy", "auxiliary", "--store", store]
+        )
+        assert code == 0
+        assert "store written to" in capsys.readouterr().out
+
+        from repro.store import load_store
+
+        result, header = load_store(store)
+        assert header.meta["strategy"] == "auxiliary"
+        assert result.output_size > 0
+
+    def test_query_and_status_against_served_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert (
+            main(["preprocess", "--n", "20", "--extra-edges", "24", "--sigma",
+                  "2", "--seed", "7", "--store", store])
+            == 0
+        )
+        capsys.readouterr()  # drop preprocess output
+
+        from repro.serve import ServerThread
+        from repro.store import load_store
+
+        result, _ = load_store(store)
+        s, t, e, value = next(result.iter_entries())
+        with ServerThread.from_store(store) as handle:
+            port = str(handle.port)
+            assert main(["status", "--port", port]) == 0
+            out = capsys.readouterr().out
+            assert "hit rate" in out and "format v1" in out
+            assert (
+                main(["query", "--port", port, "--source", str(s),
+                      "--target", str(t), "--edge", f"{e[0]},{e[1]}"])
+                == 0
+            )
+            assert f"= {value:g}" in capsys.readouterr().out
+
+    def test_query_against_dead_server_exits_one(self, capsys):
+        code = main(
+            ["query", "--port", "1", "--source", "0", "--target", "1",
+             "--edge", "0,1"]
+        )
+        assert code == 1
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_malformed_edge_argument_exits_one(self, capsys):
+        code = main(
+            ["query", "--port", "1", "--source", "0", "--target", "1",
+             "--edge", "nonsense"]
+        )
+        assert code == 1
+        assert "--edge" in capsys.readouterr().err

@@ -17,6 +17,9 @@ import pickle
 
 import pytest
 
+from repro.core.msrp import MSRPSolver
+from repro.core.params import AlgorithmParams
+from repro.exceptions import InvalidParameterError
 from repro.graph import generators
 from repro.graph.csr import CSRGraph, bfs_distances_csr, bfs_tree_csr
 from repro.graph.graph import Graph
@@ -133,6 +136,73 @@ class TestShortestPathTreePickle:
         assert copy.dist[3] is math.inf
         assert copy.dist[4] is math.inf
         assert copy.distance_avoiding((0, 1), 3) is math.inf
+
+
+class TestReplacementPathResultPickle:
+    """Regressions for the default-reduce pickling hole.
+
+    ``ReplacementPathResult`` uses ``__slots__``; without explicit state
+    methods the default reduce restores the slots directly and skips the
+    constructor's ``math.inf`` re-canonicalisation, so an unpickled table
+    could hold infs that are ``== math.inf`` but not ``is math.inf`` —
+    silently breaking the identity invariant the fingerprints and hot
+    paths rely on.  The explicit ``__getstate__``/``__setstate__`` pair
+    routes restoration through the constructor and keeps the graph
+    reference, so edge validation survives the round-trip too.
+    """
+
+    def _solve(self, graph, seed=5):
+        sources = generators.random_sources(graph, 2, seed=seed)
+        solver = MSRPSolver(
+            graph, sources, params=AlgorithmParams(seed=seed)
+        )
+        return solver.solve()
+
+    def test_values_and_trees_survive(self, graph):
+        result = self._solve(graph)
+        copy = roundtrip(result)
+        assert list(copy.iter_entries()) == list(result.iter_entries())
+        assert copy.sources == result.sources
+        for s in result.sources:
+            assert copy.source_tree(s).dist == result.source_tree(s).dist
+            assert copy.targets(s) == result.targets(s)
+
+    def test_inf_identity_restored(self):
+        # A path graph: every edge is a bridge, every replacement is inf.
+        g = generators.path_graph(7)
+        result = self._solve(g, seed=2)
+        copy = roundtrip(result)
+        saw_inf = False
+        for _s, _t, _e, value in copy.iter_entries():
+            if value == math.inf:
+                assert value is math.inf
+                saw_inf = True
+        assert saw_inf, "path graph must produce infinite replacements"
+
+    def test_graph_reference_survives_and_validates(self, graph):
+        result = self._solve(graph)
+        assert result.graph is not None
+        copy = roundtrip(result)
+        # The graph rides along ...
+        assert copy.graph == result.graph
+        # ... so a non-edge query is still rejected after the round-trip
+        # (the exact hole PR 4 closed for the graph-backed path).
+        non_edge = next(
+            (u, v)
+            for u in range(graph.num_vertices)
+            for v in range(u + 1, graph.num_vertices)
+            if not graph.has_edge(u, v)
+        )
+        s = copy.sources[0]
+        t = copy.targets(s)[0]
+        with pytest.raises(InvalidParameterError, match="not an edge"):
+            copy.replacement_length(s, t, non_edge)
+
+    def test_replacement_queries_identical(self, graph):
+        result = self._solve(graph)
+        copy = roundtrip(result)
+        for s, t, e, value in result.iter_entries():
+            assert copy.replacement_length(s, t, e) == value
 
 
 class TestInternedAuxiliaryGraphPickle:

@@ -1,0 +1,204 @@
+"""End-to-end tests for the asyncio query server and its client.
+
+A real store is written to disk, a real server is started on an ephemeral
+port, and a real HTTP client queries it — the full
+``preprocess -> store -> serve -> query`` lifecycle in-process.  The
+contract under test is the serving layer's version of byte-identical
+parallelism: every answer fetched over the wire equals the in-process
+solve's answer, with infinite lengths arriving as *the* ``math.inf``
+singleton.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.request
+
+import pytest
+
+from repro.core.msrp import MSRPSolver
+from repro.core.params import AlgorithmParams
+from repro.exceptions import InvalidParameterError
+from repro.graph import generators
+from repro.serve import QueryClient, RemoteQueryError, ServerThread, SliceCache
+from repro.store import write_store
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = generators.random_connected_graph(24, extra_edges=26, seed=11)
+    sources = generators.random_sources(graph, 3, seed=11)
+    solver = MSRPSolver(
+        graph,
+        sources,
+        params=AlgorithmParams(seed=11),
+        landmark_strategy="auxiliary",
+    )
+    return graph, solver, solver.solve()
+
+
+@pytest.fixture(scope="module")
+def served(instance, tmp_path_factory):
+    graph, solver, result = instance
+    directory = str(tmp_path_factory.mktemp("store"))
+    write_store(directory, result, meta=solver.store_metadata())
+    with ServerThread.from_store(directory) as handle:
+        with QueryClient(port=handle.port) as client:
+            yield graph, result, handle, client
+
+
+class TestPointQueries:
+    def test_every_stored_entry_matches_in_process(self, served):
+        _graph, result, _handle, client = served
+        for s, t, e, value in result.iter_entries():
+            got = client.query(s, t, e)
+            assert got == value
+            if value == math.inf:
+                assert got is math.inf
+
+    def test_off_path_edge_returns_tree_distance(self, served):
+        graph, result, _handle, client = served
+        s = result.sources[0]
+        tree = result.source_tree(s)
+        # An edge not on the canonical s-t path leaves the distance alone.
+        for t in result.targets(s):
+            per_target = result.table(s)[t]
+            off_path = next(
+                (e for e in graph.edges() if e not in per_target), None
+            )
+            if off_path is not None:
+                assert client.query(s, t, off_path) == result.replacement_length(
+                    s, t, off_path
+                )
+                break
+        else:  # pragma: no cover - battery graphs always have off-path edges
+            pytest.skip("no off-path edge in instance")
+
+    def test_batch_matches_point_queries(self, served):
+        _graph, result, _handle, client = served
+        queries = [(s, t, e) for s, t, e, _ in list(result.iter_entries())[:25]]
+        answers = client.query_batch(queries)
+        assert answers == [result.replacement_length(*q) for q in queries]
+
+    def test_sweep_covers_every_vertex(self, served):
+        graph, result, _handle, client = served
+        s = result.sources[0]
+        t = result.targets(s)[0]
+        edge = next(iter(result.table(s)[t]))
+        lengths = client.sweep(s, edge)
+        assert set(lengths) == set(range(graph.num_vertices))
+        for target, value in lengths.items():
+            assert value == result.replacement_length(s, target, edge)
+
+
+class TestValidation:
+    def test_non_edge_rejected_with_local_exception_type(self, served):
+        graph, result, _handle, client = served
+        non_edge = next(
+            (u, v)
+            for u in range(graph.num_vertices)
+            for v in range(u + 1, graph.num_vertices)
+            if not graph.has_edge(u, v)
+        )
+        s = result.sources[0]
+        with pytest.raises(InvalidParameterError, match="not an edge"):
+            client.query(s, 0, non_edge)
+
+    def test_unknown_source_rejected(self, served):
+        graph, result, _handle, client = served
+        bad = next(v for v in range(graph.num_vertices) if v not in result.sources)
+        with pytest.raises(InvalidParameterError, match="not one of the served sources"):
+            client.query(bad, 0, graph.edges()[0])
+
+    def test_out_of_range_target_rejected(self, served):
+        graph, result, _handle, client = served
+        with pytest.raises(InvalidParameterError, match="outside the vertex range"):
+            client.query(result.sources[0], graph.num_vertices + 5, graph.edges()[0])
+
+    def test_batch_reports_per_item_errors(self, served):
+        graph, result, _handle, client = served
+        s = result.sources[0]
+        good = graph.edges()[0]
+        non_edge = next(
+            (u, v)
+            for u in range(graph.num_vertices)
+            for v in range(u + 1, graph.num_vertices)
+            if not graph.has_edge(u, v)
+        )
+        # The good item resolves, the bad one raises client-side with the
+        # same exception type an in-process query would have raised.
+        with pytest.raises(InvalidParameterError, match="not an edge"):
+            client.query_batch([(s, 0, good), (s, 0, non_edge)])
+
+    def test_unknown_path_is_remote_error(self, served):
+        _graph, _result, handle, _client = served
+        with QueryClient(port=handle.port) as client:
+            with pytest.raises(RemoteQueryError, match="unknown path"):
+                client._request("GET", "/nope")
+
+    def test_unreachable_server(self):
+        client = QueryClient(port=1, timeout=0.5)
+        with pytest.raises(RemoteQueryError, match="unreachable"):
+            client.status()
+
+
+class TestStatusAndCache:
+    def test_status_reports_store_and_counters(self, served):
+        _graph, result, handle, client = served
+        status = client.status()
+        store = status["store"]
+        assert store["num_vertices"] == 24
+        assert store["sources"] == list(result.sources)
+        assert store["strategy"] == "auxiliary"
+        assert status["output_entries"] == result.output_size
+        assert status["uptime_seconds"] > 0
+        cache = status["cache"]
+        assert cache["capacity"] == handle.service.cache.capacity
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+
+    def test_repeated_queries_hit_the_slice_cache(self, instance, tmp_path):
+        _graph, solver, result = instance
+        directory = str(tmp_path / "store")
+        write_store(directory, result)
+        with ServerThread.from_store(directory) as handle:
+            with QueryClient(port=handle.port) as client:
+                s, t, e, _ = next(result.iter_entries())
+                client.query(s, t, e)
+                first = client.status()["cache"]
+                assert first["misses"] >= 1
+                for _ in range(5):
+                    client.query(s, t, e)
+                second = client.status()["cache"]
+                assert second["hits"] >= first["hits"] + 5
+                assert second["misses"] == first["misses"]
+
+    def test_raw_http_status_is_strict_json(self, served):
+        _graph, _result, handle, _client = served
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{handle.port}/status", timeout=5
+        ) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        assert payload["store"]["format_version"] == 1
+
+
+class TestSliceCache:
+    def test_lru_eviction_order(self):
+        cache = SliceCache(capacity=2)
+        cache.put((0, (0, 1)), {0: 1.0})
+        cache.put((0, (0, 2)), {0: 2.0})
+        assert cache.get((0, (0, 1))) == {0: 1.0}  # refresh
+        cache.put((0, (0, 3)), {0: 3.0})  # evicts (0, 2)
+        assert cache.get((0, (0, 2))) is None
+        assert cache.get((0, (0, 1))) is not None
+        assert len(cache) == 2
+
+    def test_zero_capacity_never_stores(self):
+        cache = SliceCache(capacity=0)
+        cache.put((0, (0, 1)), {0: 1.0})
+        assert len(cache) == 0
+        assert cache.get((0, (0, 1))) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SliceCache(capacity=-1)
