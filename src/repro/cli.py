@@ -122,10 +122,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--lru", type=int, default=None, metavar="SLICES",
         help="LRU capacity in (source, edge) slices (default 256)",
     )
+    serve.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        help=(
+            "concurrent-connection ceiling; past it requests are shed "
+            "with 503 + Retry-After (default 64)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help=(
+            "on SIGTERM/SIGINT, how long in-flight requests may finish "
+            "before connections are closed (default 10)"
+        ),
+    )
 
     client_common = argparse.ArgumentParser(add_help=False)
     client_common.add_argument("--host", default="127.0.0.1")
     client_common.add_argument("--port", type=int, default=8351)
+    client_common.add_argument(
+        "--retries", type=int, default=3,
+        help="retry attempts for transient failures (default 3, 0 disables)",
+    )
+    client_common.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-request socket timeout in seconds (default 10)",
+    )
 
     query = sub.add_parser(
         "query", parents=[client_common], help="ask a running server one point query"
@@ -207,17 +229,36 @@ def _run_preprocess(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from repro.serve import DEFAULT_LRU_SLICES, serve_store
+    from repro.serve import (
+        DEFAULT_LRU_SLICES,
+        DEFAULT_MAX_CONNECTIONS,
+        serve_store,
+    )
 
     lru = args.lru if args.lru is not None else DEFAULT_LRU_SLICES
-    return serve_store(args.store, host=args.host, port=args.port, lru_slices=lru)
+    max_connections = (
+        args.max_connections
+        if args.max_connections is not None
+        else DEFAULT_MAX_CONNECTIONS
+    )
+    return serve_store(
+        args.store,
+        host=args.host,
+        port=args.port,
+        lru_slices=lru,
+        max_connections=max_connections,
+        drain_timeout=args.drain_timeout,
+    )
 
 
 def _run_query(args: argparse.Namespace) -> int:
     from repro.serve import QueryClient
 
     edge = _parse_edge(args.edge)
-    with QueryClient(host=args.host, port=args.port) as client:
+    with QueryClient(
+        host=args.host, port=args.port,
+        timeout=args.timeout, retries=args.retries,
+    ) as client:
         length = client.query(args.source, args.target, edge)
     u, v = edge
     shown = "inf (deletion disconnects the pair)" if length == float("inf") else f"{length:g}"
@@ -228,16 +269,22 @@ def _run_query(args: argparse.Namespace) -> int:
 def _run_status(args: argparse.Namespace) -> int:
     from repro.serve import QueryClient
 
-    with QueryClient(host=args.host, port=args.port) as client:
+    with QueryClient(
+        host=args.host, port=args.port,
+        timeout=args.timeout, retries=args.retries,
+    ) as client:
         status = client.status()
     store = status.get("store") or {}
     print(f"server: http://{args.host}:{args.port}")
     print(
         f"store: n={store.get('num_vertices')} m={store.get('num_edges')} "
         f"sources={store.get('sources')} strategy={store.get('strategy')} "
-        f"(format v{store.get('format_version')})"
+        f"(format v{status.get('format_version', store.get('format_version'))})"
     )
-    print(f"graph fingerprint: {store.get('graph_fingerprint')}")
+    print(
+        "graph fingerprint: "
+        f"{status.get('graph_fingerprint') or store.get('graph_fingerprint')}"
+    )
     print(f"output entries: {status.get('output_entries')}")
     print(f"uptime: {status.get('uptime_seconds', 0.0):.1f}s")
     print(
@@ -251,6 +298,15 @@ def _run_status(args: argparse.Namespace) -> int:
         f"hit rate {cache.get('hit_rate', 0.0):.1%} "
         f"({cache.get('hits')} hits / {cache.get('misses')} misses)"
     )
+    server = status.get("server")
+    if server:
+        print(
+            f"connections: {server.get('connections')}"
+            f"/{server.get('max_connections')} "
+            f"(shed {server.get('requests_shed')}, "
+            f"timed out {server.get('requests_timed_out')}"
+            f"{', draining' if server.get('draining') else ''})"
+        )
     return 0
 
 

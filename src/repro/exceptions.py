@@ -37,3 +37,24 @@ class InternalInvariantError(ReproError, AssertionError):
     optional self-verification mode detects a violation it raises this error
     instead of silently returning a wrong distance.
     """
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """Raised when a sharded phase loses pool workers beyond recovery.
+
+    The parallel scheduler detects abnormal worker exits (SIGKILL, OOM
+    kill, broken result pipes) and chunk timeouts, respawns the pool and
+    re-executes only the unfinished chunks a bounded number of times.
+    Only when those retries are exhausted *and* serial degradation is
+    disabled does this error surface — a deliberate, typed failure instead
+    of a hang or a bare ``BrokenPipeError`` from ``multiprocessing``.
+    """
+
+
+class ServerOverloadedError(ReproError):
+    """Raised when the query server sheds a request due to load.
+
+    The serving layer answers with HTTP 503 plus a ``Retry-After`` hint
+    instead of queueing unboundedly; the client retries with backoff and
+    raises this type once its retry budget is exhausted.
+    """

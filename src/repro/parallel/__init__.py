@@ -28,6 +28,14 @@ package shards those key lists across a :mod:`multiprocessing` pool:
 
 Both the ``fork`` and ``spawn`` start methods are supported; see
 :func:`repro.parallel.pool.default_start_method`.
+
+The scheduler is crash-safe: dead workers (SIGKILL, OOM, broken result
+pipes) and per-chunk timeouts are detected, the pool is respawned and
+only the unfinished chunks re-execute — bounded retries, then graceful
+degradation to the identical in-process serial path (or a typed
+:class:`~repro.exceptions.WorkerCrashError` when degradation is
+disabled).  The deterministic chaos battery in ``tests/test_faults_pool.py``
+pins this via :mod:`repro.faults`; see ``docs/robustness.md``.
 """
 
 from repro.parallel.pool import (

@@ -37,17 +37,42 @@ the duration of a solve and re-installs each phase's context into the
 already-running workers, so the start-up amortises across the whole
 pipeline.  Call sites accept an optional ``pool`` and fall back to a
 one-shot pool (or the serial path) when none is given.
+
+**Crash safety.**  A raw ``multiprocessing.Pool`` turns a SIGKILLed
+worker into a silent hang: the killed worker's chunk never completes and
+``map`` waits forever.  :class:`WorkerPool` instead dispatches chunks
+individually and polls them against a liveness check of the pool's worker
+processes (plus an optional per-chunk timeout).  A detected crash — dead
+worker, broken result pipe, or timeout — tears the damaged pool down,
+respawns a fresh one with the current phase context, and re-executes
+*only the unfinished chunks*; completed chunks keep their results.  Task
+functions are pure functions of ``(context, keys)``, so a retried chunk
+is byte-identical to what its first attempt would have produced and the
+merge contract is unaffected.  Retries are bounded
+(``max_crash_retries``); past the bound the pool degrades to the
+identical in-process serial path by default, or raises a typed
+:class:`~repro.exceptions.WorkerCrashError` when degradation is disabled.
+Deterministic exceptions raised *by* a task are never retried — they
+propagate unchanged, exactly as the serial path would raise them.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import pickle
 import threading
+import time
+from multiprocessing.pool import MaybeEncodingError
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import InternalInvariantError, InvalidParameterError
+from repro.exceptions import (
+    InternalInvariantError,
+    InvalidParameterError,
+    WorkerCrashError,
+)
+from repro.faults.harness import chunk_checkpoint
 
 #: Environment variable overriding the default start method (fork/spawn).
 START_METHOD_ENV = "REPRO_MP_START_METHOD"
@@ -77,6 +102,41 @@ _STORE: Dict[int, Any] = {}
 #: Number of multiprocessing pools this module has opened in this process.
 #: Test instrumentation for the "one pool per solve" contract; never reset.
 POOLS_OPENED = 0
+
+#: Parent-side poll interval while waiting on dispatched chunks (seconds).
+_POLL_INTERVAL = 0.01
+
+#: Backstop deadline for a context broadcast (seconds).  Broadcasts are a
+#: few pickles plus a barrier; hitting this means the pool is wedged.
+BROADCAST_TIMEOUT = 300.0
+
+#: Default bound on crash-respawn-retry cycles per sharded phase.
+DEFAULT_MAX_CRASH_RETRIES = 2
+
+#: How long a ``Pool.terminate()`` may take before the pool is abandoned
+#: by force.  A worker SIGKILLed while *idle* dies holding the shared
+#: task-queue reader lock (``SimpleQueue.get`` holds it across the
+#: blocking read), and ``Pool._terminate_pool`` then wedges forever
+#: trying to acquire it — so a clean terminate gets a bounded budget and
+#: the fallback SIGKILLs the workers and walks away.
+POOL_TERMINATE_TIMEOUT = 5.0
+
+#: Transport-layer exceptions from a chunk handle that mean the worker
+#: (or its result pipe) died rather than the task failing deterministically.
+_CRASH_EXCEPTIONS = (
+    BrokenPipeError,
+    ConnectionResetError,
+    EOFError,
+    MaybeEncodingError,
+)
+
+
+class _PoolCrash(Exception):
+    """Internal: a pool-level failure (dead worker, timeout, broken pipe).
+
+    Caught by the retry loop in :meth:`WorkerPool._run_pooled`; never
+    escapes this module — callers see :class:`WorkerCrashError` instead.
+    """
 
 
 def _apply_context(generation: int, new: Any, layout: Optional[Dict]) -> None:
@@ -127,14 +187,19 @@ def _dispatch_chunk(payload: Any) -> Dict[Hashable, Any]:
     worker that somehow missed a broadcast (or a chunk queued against an
     older phase) fails loudly instead of silently computing the new phase's
     keys against the previous phase's context.
+
+    The fault checkpoint lets the chaos harness kill/hang this worker as
+    it picks up a specific chunk; with no plan installed it is one
+    environment lookup.
     """
-    task, generation, chunk = payload
+    task, generation, chunk_index, chunk = payload
     current = getattr(_TLS, "generation", None)
     if current != generation:
         raise InternalInvariantError(
             f"pool worker holds context generation {current!r} but was "
             f"dispatched a chunk of generation {generation!r}"
         )
+    chunk_checkpoint(chunk_index)
     return task(chunk)
 
 
@@ -295,17 +360,40 @@ class WorkerPool:
       ends.
     """
 
-    def __init__(self, workers: int = 0, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        workers: int = 0,
+        start_method: Optional[str] = None,
+        max_crash_retries: int = DEFAULT_MAX_CRASH_RETRIES,
+        degrade_to_serial: bool = True,
+        chunk_timeout: Optional[float] = None,
+    ):
         if workers < 0:
             raise InvalidParameterError(
                 f"workers must be non-negative, got {workers}"
             )
+        if max_crash_retries < 0:
+            raise InvalidParameterError(
+                f"max_crash_retries must be non-negative, got {max_crash_retries}"
+            )
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise InvalidParameterError(
+                f"chunk_timeout must be positive, got {chunk_timeout}"
+            )
         self.workers = workers
+        self.max_crash_retries = max_crash_retries
+        self.degrade_to_serial = degrade_to_serial
+        self.chunk_timeout = chunk_timeout
+        #: crash events survived (pool torn down + respawned); cumulative.
+        self.crash_recoveries = 0
+        #: phases that exhausted retries and finished on the serial path.
+        self.serial_degradations = 0
         self._start_method = start_method
         self._pool: Optional[Any] = None
         self._size = 0
         self._generation = 0
         self._installed: Any = None
+        self._worker_pids: frozenset = frozenset()
         # Component-store bookkeeping: token per shipped context component,
         # keyed by object identity.  The strong refs keep the ids stable
         # (a recycled id must never alias a dead component's token).
@@ -333,19 +421,63 @@ class WorkerPool:
         return self._generation
 
     def close(self) -> None:
-        """Terminate the underlying pool (if any) and drop shipped state."""
+        """Terminate the underlying pool (if any) and drop shipped state.
+
+        Termination itself is crash-safe: ``Pool.terminate`` can hang on
+        queue locks a SIGKILLed worker took to its grave, so it runs on a
+        helper thread with a :data:`POOL_TERMINATE_TIMEOUT` budget.  Past
+        the budget the pool is abandoned — its maintenance loop is told to
+        stop respawning, every worker process is SIGKILLed, and the pool
+        object (whose support threads are daemonic) is dropped.
+        """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            pool = self._pool
+            terminator = threading.Thread(
+                target=self._terminate_quietly, args=(pool,), daemon=True
+            )
+            terminator.start()
+            terminator.join(POOL_TERMINATE_TIMEOUT)
+            if terminator.is_alive():
+                self._abandon_pool(pool)
             self._pool = None
             self._size = 0
         # The worker stores died with the pool; forget what was shipped so
         # a reopened pool never references tokens its workers do not hold.
         self._installed = None
+        self._worker_pids = frozenset()
         self._shipped_tokens = {}
         self._shipped_values = []
 
     # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _terminate_quietly(pool: Any) -> None:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+    @staticmethod
+    def _abandon_pool(pool: Any) -> None:
+        """Forcibly dismantle a pool whose clean terminate wedged.
+
+        Ordering matters: the worker-maintenance thread must be told to
+        stop *before* the workers are killed, or it would respawn them.
+        The wedged terminator thread and the pool's handler threads are
+        daemonic, so dropping the object leaks no non-daemonic state.
+        """
+        import multiprocessing.pool as mp_pool
+
+        handler = getattr(pool, "_worker_handler", None)
+        if handler is not None:
+            handler._state = getattr(mp_pool, "TERMINATE", "TERMINATE")
+        for proc in list(getattr(pool, "_pool", [])):
+            try:
+                if proc.is_alive():
+                    os.kill(proc.pid, 9)
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
 
     def _encode_context(
         self, context: Any
@@ -415,8 +547,31 @@ class WorkerPool:
             initargs=(barrier, self._generation, new, layout),
         )
         POOLS_OPENED += 1
+        self._worker_pids = frozenset(
+            proc.pid for proc in getattr(self._pool, "_pool", [])
+        )
         self._commit_shipped(pending_tokens, pending_values)
         self._installed = context
+
+    def _pool_damaged(self) -> bool:
+        """``True`` when any original worker died (abnormal exit).
+
+        Pool workers never exit on their own (no ``maxtasksperchild``), so
+        a missing or dead pid means a crash.  ``multiprocessing.Pool``'s
+        maintenance thread silently respawns dead workers, which is why the
+        check compares against the pid set snapshotted at open: a respawned
+        replacement has a new pid (and, fatally, the *initial* context, not
+        the current generation), so it must not be trusted either.
+        """
+        procs = getattr(self._pool, "_pool", None)
+        if procs is None:
+            return True
+        pids = set()
+        for proc in procs:
+            if not proc.is_alive():
+                return True
+            pids.add(proc.pid)
+        return pids != self._worker_pids
 
     def _install(self, context: Any) -> None:
         """Broadcast ``context`` into every running worker (new generation).
@@ -424,6 +579,12 @@ class WorkerPool:
         The new components are pickled once per phase (the workers receive
         the same pre-serialised blob), and components the workers already
         hold travel as token references — see :meth:`_encode_context`.
+
+        The broadcast is health-monitored: every worker must pass the
+        barrier, so a worker that died (or dies mid-broadcast) would wedge
+        a blocking ``map`` forever.  Polling the async handle against the
+        liveness check converts that hang into a :class:`_PoolCrash`,
+        which the retry loop answers by respawning the pool.
         """
         if self._installed is context:
             return
@@ -432,9 +593,28 @@ class WorkerPool:
         blob = pickle.dumps(
             (self._generation, new, layout), pickle.HIGHEST_PROTOCOL
         )
-        echoed = self._pool.map(
+        handle = self._pool.map_async(
             _set_context_task, [blob] * self._size, chunksize=1
         )
+        deadline = time.monotonic() + BROADCAST_TIMEOUT
+        while not handle.ready():
+            if self._pool_damaged():
+                raise _PoolCrash(
+                    f"a pool worker died during the context broadcast for "
+                    f"generation {self._generation}"
+                )
+            if time.monotonic() > deadline:
+                raise _PoolCrash(
+                    f"context broadcast for generation {self._generation} "
+                    f"did not complete within {BROADCAST_TIMEOUT}s"
+                )
+            handle.wait(_POLL_INTERVAL)
+        try:
+            echoed = handle.get()
+        except _CRASH_EXCEPTIONS as exc:
+            raise _PoolCrash(
+                f"context broadcast failed with transport error {exc!r}"
+            ) from exc
         if echoed != [self._generation] * self._size:
             raise InternalInvariantError(
                 f"context broadcast for generation {self._generation} "
@@ -461,6 +641,11 @@ class WorkerPool:
         order and byte-identical to the serial run.  Phases that cannot
         shard (``workers <= 1``, one distinct key, inside a pool worker)
         run the identical task function in-process without opening a pool.
+        Worker crashes are recovered per the class docstring: unfinished
+        chunks are re-executed on a respawned pool, bounded by
+        ``max_crash_retries``, then the phase degrades to the serial path
+        (or raises :class:`~repro.exceptions.WorkerCrashError` when
+        ``degrade_to_serial`` is off).
         """
         _check_chunks_per_worker(chunks_per_worker)
         key_list = list(keys)
@@ -468,18 +653,117 @@ class WorkerPool:
         if resolve_workers(self.workers, len(distinct)) == 0:
             merged = _run_serial(task, distinct, context)
         else:
-            self._ensure_open(context)
-            self._install(context)
-            num_chunks = min(len(distinct), self._size * chunks_per_worker)
-            payloads = [
-                (task, self._generation, chunk)
-                for chunk in chunk_keys(distinct, num_chunks)
-            ]
-            partials = self._pool.map(_dispatch_chunk, payloads, chunksize=1)
-            merged = {}
-            for partial in partials:
-                merged.update(partial)
+            merged = self._run_pooled(task, distinct, context, chunks_per_worker)
         return _fan_out(merged, distinct, key_list, task)
+
+    def _run_pooled(
+        self,
+        task: Callable,
+        distinct: List[Hashable],
+        context: Any,
+        chunks_per_worker: int,
+    ) -> Dict[Hashable, Any]:
+        """One sharded phase with crash recovery.
+
+        ``pending`` maps stable chunk indices to key chunks; a crash only
+        ever retries what is still in ``pending`` — chunks whose results
+        were already collected are kept (purity makes a re-execution
+        byte-identical anyway, so salvaging is a pure optimisation).
+        """
+        num_chunks = min(len(distinct), self.workers * chunks_per_worker)
+        pending: Dict[int, List[Hashable]] = dict(
+            enumerate(chunk_keys(distinct, num_chunks))
+        )
+        done: Dict[int, Dict[Hashable, Any]] = {}
+        crashes = 0
+        while pending:
+            try:
+                self._ensure_open(context)
+                self._install(context)
+                self._collect(task, pending, done)
+            except _PoolCrash as crash:
+                crashes += 1
+                self.crash_recoveries += 1
+                # The damaged pool (and possibly workers wedged on a
+                # broadcast barrier) is unrecoverable state: tear it down
+                # and let the next iteration respawn it with the current
+                # phase context.
+                self.close()
+                if crashes > self.max_crash_retries:
+                    if not self.degrade_to_serial:
+                        raise WorkerCrashError(
+                            f"sharded phase "
+                            f"{getattr(task, '__name__', task)!r} lost its "
+                            f"worker pool {crashes} time(s) "
+                            f"(last failure: {crash}); {len(pending)} of "
+                            f"{num_chunks} chunk(s) unfinished after "
+                            f"{self.max_crash_retries} retries"
+                        ) from crash
+                    # Graceful degradation: the identical in-process
+                    # serial path finishes the remaining chunks, so the
+                    # phase's output is still byte-identical.
+                    self.serial_degradations += 1
+                    for index in sorted(pending):
+                        done[index] = _run_serial(task, pending.pop(index), context)
+        merged: Dict[Hashable, Any] = {}
+        for index in sorted(done):
+            merged.update(done[index])
+        return merged
+
+    def _collect(
+        self,
+        task: Callable,
+        pending: Dict[int, List[Hashable]],
+        done: Dict[int, Dict[Hashable, Any]],
+    ) -> None:
+        """Dispatch every pending chunk and gather results until all land.
+
+        Raises :class:`_PoolCrash` on a dead worker, a transport error, or
+        the chunk deadline; deterministic task exceptions propagate as-is
+        (retrying them would re-raise identically).  ``pending``/``done``
+        are updated in place so a crash preserves partial progress.
+        """
+        handles = {
+            index: self._pool.apply_async(
+                _dispatch_chunk, ((task, self._generation, index, chunk),)
+            )
+            for index, chunk in sorted(pending.items())
+        }
+        deadline = None
+        if self.chunk_timeout is not None:
+            # Chunks beyond the pool size queue behind earlier ones; scale
+            # the budget by the number of scheduling waves so a deep queue
+            # is not misread as a hang.
+            waves = math.ceil(len(handles) / max(1, self._size))
+            deadline = time.monotonic() + self.chunk_timeout * waves
+        while handles:
+            progressed = False
+            for index, handle in list(handles.items()):
+                if not handle.ready():
+                    continue
+                try:
+                    done[index] = handle.get()
+                except _CRASH_EXCEPTIONS as exc:
+                    raise _PoolCrash(
+                        f"chunk {index} failed with transport error {exc!r}"
+                    ) from exc
+                del handles[index]
+                del pending[index]
+                progressed = True
+            if not handles:
+                return
+            if self._pool_damaged():
+                raise _PoolCrash(
+                    f"a pool worker exited abnormally with chunk(s) "
+                    f"{sorted(handles)} in flight"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise _PoolCrash(
+                    f"chunk(s) {sorted(handles)} exceeded the "
+                    f"{self.chunk_timeout}s per-chunk timeout"
+                )
+            if not progressed:
+                time.sleep(_POLL_INTERVAL)
 
 
 def run_sharded(
@@ -490,6 +774,9 @@ def run_sharded(
     start_method: Optional[str] = None,
     chunks_per_worker: int = 1,
     pool: Optional[WorkerPool] = None,
+    max_crash_retries: int = DEFAULT_MAX_CRASH_RETRIES,
+    degrade_to_serial: bool = True,
+    chunk_timeout: Optional[float] = None,
 ) -> Dict[Hashable, Any]:
     """Apply ``task`` to ``keys``, sharded across a process pool.
 
@@ -519,6 +806,10 @@ def run_sharded(
         context is broadcast into the pool's running workers instead of
         paying a pool start-up; when omitted, a one-shot pool spans just
         this call.
+    max_crash_retries, degrade_to_serial, chunk_timeout:
+        Crash-recovery knobs for the one-shot pool (see
+        :class:`WorkerPool`).  Ignored when ``pool`` is given — the pool's
+        own settings win.
 
     Returns
     -------
@@ -534,7 +825,13 @@ def run_sharded(
     pool_size = resolve_workers(workers, len(distinct))
     if pool_size == 0:
         return _fan_out(_run_serial(task, distinct, context), distinct, key_list, task)
-    with WorkerPool(pool_size, start_method=start_method) as one_shot:
+    with WorkerPool(
+        pool_size,
+        start_method=start_method,
+        max_crash_retries=max_crash_retries,
+        degrade_to_serial=degrade_to_serial,
+        chunk_timeout=chunk_timeout,
+    ) as one_shot:
         return one_shot.run(task, key_list, context, chunks_per_worker=chunks_per_worker)
 
 

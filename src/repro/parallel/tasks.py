@@ -31,6 +31,19 @@ from repro.multisource.tables import compute_center_to_landmark_tables
 from repro.parallel.pool import worker_context
 
 
+def chaos_probe_task(keys: Sequence[int]) -> Dict[int, int]:
+    """Trivial pure task pinning the fault-injection battery.
+
+    Context: ``{"bias": int}``.  Cheap on purpose — the chaos tests
+    exercise the *scheduler's* crash recovery (worker kills, hangs,
+    timeouts, serial degradation), and a heavyweight task body would only
+    slow the battery down without widening its coverage.
+    """
+    ctx = worker_context()
+    bias = ctx["bias"]
+    return {key: key * key + bias for key in keys}
+
+
 def bfs_roots_task(roots: Sequence[int]) -> Dict[int, Any]:
     """One BFS tree per root over the shared CSR graph.
 

@@ -11,6 +11,23 @@ Every returned length is re-canonicalised onto the ``math.inf`` singleton,
 so values fetched over the wire are ``is math.inf``-indistinguishable from
 an in-process solve — the same invariant the parallel layer maintains for
 pickled results.
+
+Retries
+-------
+Transient failures are retried with seeded exponential backoff + jitter
+(``retries`` attempts, delays derived from ``retry_seed`` via
+:func:`repro.parallel.seeding.child_rng`, so a chaos run replays the exact
+same schedule).  The policy is deliberately asymmetric:
+
+* network errors (refused, reset, dropped mid-flight) are retried for
+  **GET only** — a broken POST may already have been processed, and
+  replaying it is not the client's call to make;
+* HTTP 503 (load shed / draining) is retried for **every** method,
+  honouring the server's ``Retry-After`` hint — shedding happens before
+  the request is read, so nothing was processed;
+* a stale keep-alive connection gets one free immediate reconnect for any
+  method: the server reaped the idle connection *between* requests, so the
+  new request never reached it.
 """
 
 from __future__ import annotations
@@ -18,6 +35,7 @@ from __future__ import annotations
 import http.client
 import json
 import math
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from urllib.parse import urlencode
 
@@ -25,14 +43,27 @@ from repro.exceptions import (
     InvalidParameterError,
     NotOnPathError,
     ReproError,
+    ServerOverloadedError,
 )
+from repro.parallel.seeding import child_rng
 
 #: Server-reported exception type -> local class, so remote validation
 #: errors raise identically to in-process ones.
 _REMOTE_TYPES = {
     "InvalidParameterError": InvalidParameterError,
     "NotOnPathError": NotOnPathError,
+    "ServerOverloadedError": ServerOverloadedError,
 }
+
+#: Transport-level failures eligible for reconnect/retry.  JSON decode
+#: errors belong here: a half-written response body is a truncated
+#: connection, not a server answer.
+_NETWORK_ERRORS = (
+    OSError,
+    http.client.HTTPException,
+    json.JSONDecodeError,
+    UnicodeDecodeError,
+)
 
 
 class RemoteQueryError(ReproError):
@@ -63,12 +94,48 @@ class QueryClient:
         The serving endpoint (``repro-msrp serve`` prints both).
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        How many failed attempts to retry (0 disables retries; the first
+        attempt is always made).  Applies to GET network errors and to 503
+        responses on any method — see the module docstring for the policy.
+    backoff, backoff_max:
+        Exponential backoff base and ceiling (seconds): attempt ``k``
+        sleeps ``min(backoff_max, backoff * 2**k)`` scaled by jitter in
+        ``[0.5, 1.0)``.
+    retry_seed:
+        Seed for the jitter stream (``None`` = fresh OS randomness).  A
+        fixed seed makes the retry schedule byte-reproducible, which is
+        what lets the chaos battery assert on it.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8351, timeout: float = 10.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8351,
+        timeout: float = 10.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        retry_seed: Optional[int] = None,
+    ):
+        if retries < 0:
+            raise InvalidParameterError(
+                f"retries must be non-negative, got {retries}"
+            )
+        if backoff <= 0 or backoff_max <= 0:
+            raise InvalidParameterError(
+                "backoff and backoff_max must be positive, got "
+                f"{backoff} and {backoff_max}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self._rng = child_rng(retry_seed, "serve", "client-backoff", host, port)
+        self.retries_performed = 0
+        self.reconnects = 0
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing ----------------------------------------------------------
@@ -80,37 +147,66 @@ class QueryClient:
             )
         return self._conn
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """Jittered exponential delay before retry number ``attempt``."""
+        base = min(self.backoff_max, self.backoff * (2 ** attempt))
+        return base * (0.5 + 0.5 * self._rng.random())
+
     def _request(
         self, method: str, path: str, body: Optional[bytes] = None
     ) -> Dict[str, object]:
         headers = {"Connection": "keep-alive"}
         if body is not None:
             headers["Content-Type"] = "application/json"
-        try:
-            conn = self._connection()
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            payload = json.loads(response.read().decode("utf-8"))
-            status = response.status
-        except (OSError, http.client.HTTPException) as exc:
-            # One reconnect attempt: the server may have dropped an idle
-            # keep-alive connection between requests.
-            self.close()
+        attempts = 0
+        reconnected = False
+        while True:
+            had_connection = self._conn is not None
             try:
                 conn = self._connection()
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
-                payload = json.loads(response.read().decode("utf-8"))
+                raw = response.read()
                 status = response.status
-            except (OSError, http.client.HTTPException) as retry_exc:
+                retry_after = response.getheader("Retry-After")
+                payload = json.loads(raw.decode("utf-8"))
+            except _NETWORK_ERRORS as exc:
                 self.close()
+                if had_connection and not reconnected:
+                    # The server reaped an idle keep-alive connection
+                    # between requests; the fresh request never reached
+                    # it, so one immediate reconnect is safe for any
+                    # method.
+                    reconnected = True
+                    self.reconnects += 1
+                    continue
+                if method == "GET" and attempts < self.retries:
+                    self.retries_performed += 1
+                    time.sleep(self._backoff_delay(attempts))
+                    attempts += 1
+                    continue
                 raise RemoteQueryError(
-                    f"query server at {self.host}:{self.port} unreachable: "
-                    f"{retry_exc}"
+                    f"query server at {self.host}:{self.port} unreachable "
+                    f"after {attempts + 1} attempt(s): {exc}"
                 ) from exc
-        if status != 200:
-            _raise_remote(payload, status)
-        return payload
+            if status == 503 and attempts < self.retries:
+                # Load shed / draining: the server answered before reading
+                # the request, so nothing was processed — safe to retry
+                # even for POST.  The server also closed the connection.
+                self.close()
+                delay = self._backoff_delay(attempts)
+                if retry_after is not None:
+                    try:
+                        delay = max(delay, min(float(retry_after), self.backoff_max))
+                    except ValueError:
+                        pass
+                self.retries_performed += 1
+                time.sleep(delay)
+                attempts += 1
+                continue
+            if status != 200:
+                _raise_remote(payload, status)
+            return payload
 
     def close(self) -> None:
         if self._conn is not None:

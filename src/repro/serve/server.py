@@ -38,8 +38,10 @@ lookup per query.  ``/status`` reports the hit rate so the
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import math
+import signal
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
@@ -51,13 +53,27 @@ from repro.exceptions import (
     NotOnPathError,
     ReproError,
 )
+from repro.faults.harness import connection_action
 from repro.graph.graph import Edge, normalize_edge
-from repro.store.format import StoreHeader, load_store
+from repro.store.format import (
+    FORMAT_VERSION,
+    StoreHeader,
+    graph_fingerprint,
+    load_store,
+)
 
 #: Default LRU capacity (hot (source, edge) slices kept resident).
 DEFAULT_LRU_SLICES = 256
 #: Largest request body the server will read (1 MiB).
 MAX_BODY_BYTES = 1 << 20
+#: Default ceiling on concurrently served connections; past it the server
+#: sheds load with 503 + ``Retry-After`` instead of queueing unboundedly.
+DEFAULT_MAX_CONNECTIONS = 64
+#: Default bound on reading one request's headers+body (seconds); a
+#: client that stalls mid-request gets 408 and the connection closed.
+DEFAULT_READ_TIMEOUT = 30.0
+#: ``Retry-After`` hint (seconds) attached to shed responses.
+DEFAULT_RETRY_AFTER = 1.0
 
 _JSON_HEADERS = "Content-Type: application/json\r\n"
 
@@ -119,6 +135,20 @@ class OracleService:
         self.point_queries = 0
         self.sweep_queries = 0
         self._sources = frozenset(result.sources)
+        # Identity block for /status: clients assert they are talking to
+        # the intended oracle (fingerprint + format version) before
+        # trusting answers.  Without a store header the fingerprint is
+        # recomputed from the attached graph and the version is this
+        # build's writer version.
+        if header is not None and header.fingerprint:
+            self.graph_fingerprint: Optional[str] = header.fingerprint
+        elif result.graph is not None:
+            self.graph_fingerprint = graph_fingerprint(result.graph)
+        else:
+            self.graph_fingerprint = None
+        self.format_version = (
+            header.format_version if header is not None else FORMAT_VERSION
+        )
 
     # -- query surface -----------------------------------------------------
 
@@ -188,6 +218,8 @@ class OracleService:
         total = self.point_queries + self.sweep_queries
         return {
             "store": self.header.summary() if self.header else None,
+            "graph_fingerprint": self.graph_fingerprint,
+            "format_version": self.format_version,
             "sources": list(self.result.sources),
             "output_entries": self.result.output_size,
             "uptime_seconds": uptime,
@@ -212,18 +244,52 @@ def _encode_length(value: float) -> Dict[str, object]:
 
 
 class QueryServer:
-    """Minimal asyncio HTTP/1.1 server around an :class:`OracleService`."""
+    """Minimal asyncio HTTP/1.1 server around an :class:`OracleService`.
+
+    Robustness posture (see ``docs/robustness.md``):
+
+    * **Load shedding** — at most ``max_connections`` connections are
+      served concurrently; excess connections get an immediate 503 with a
+      ``Retry-After`` hint and are closed, instead of queueing without
+      bound (the :class:`~repro.serve.client.QueryClient` honours the
+      hint with backoff).
+    * **Read timeouts** — a client that stalls mid-request (slowloris,
+      dead peer) is answered with 408 after ``read_timeout`` seconds and
+      disconnected; idle keep-alive connections may optionally be reaped
+      via ``idle_timeout``.
+    * **Graceful drain** — :meth:`drain` stops accepting, lets in-flight
+      requests finish (bounded), then closes every connection;
+      :func:`serve_store` wires it to SIGTERM/SIGINT so containerised
+      runs stop without dropping responses mid-write.
+    """
 
     def __init__(
         self,
         service: OracleService,
         host: str = "127.0.0.1",
         port: int = 8351,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+        idle_timeout: Optional[float] = None,
+        retry_after: float = DEFAULT_RETRY_AFTER,
     ):
+        if max_connections < 1:
+            raise InvalidParameterError(
+                f"max_connections must be at least 1, got {max_connections}"
+            )
         self.service = service
         self.host = host
         self.port = port
+        self.max_connections = max_connections
+        self.read_timeout = read_timeout
+        self.idle_timeout = idle_timeout
+        self.retry_after = retry_after
+        self.requests_shed = 0
+        self.requests_timed_out = 0
+        self.connections_dropped = 0
         self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._accepted = 0
         #: live connections, so stop() can close them and let their
         #: handler tasks drain via EOF (cancelling stream-handler tasks
         #: is noisy on 3.11: the protocol's done-callback re-raises).
@@ -231,6 +297,9 @@ class QueryServer:
         #: handler tasks; entries leave via done-callback, so stop() sees
         #: a handler that is mid-teardown and can await its completion.
         self._tasks: set = set()
+        #: handler tasks currently processing a request (between reading a
+        #: request line and writing its response); what drain() waits on.
+        self._busy: set = set()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -247,6 +316,33 @@ class QueryServer:
         async with self._server:
             await self._server.serve_forever()
 
+    async def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight, close.
+
+        Returns ``True`` when every in-flight request completed within
+        ``timeout``; ``False`` means the deadline expired and the
+        stragglers were disconnected.  Idle keep-alive connections are
+        closed outright (there is no response in flight to lose).
+        """
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while self._busy and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        drained = not self._busy
+        for writer in list(self._connections):
+            writer.close()
+        tasks = list(self._tasks)
+        if tasks:
+            await asyncio.wait(
+                tasks, timeout=max(0.0, deadline - loop.time()) + 0.5
+            )
+        return drained
+
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -260,46 +356,75 @@ class QueryServer:
 
     # -- HTTP plumbing -----------------------------------------------------
 
+    async def _read_bounded(self, coro, timeout: Optional[float]):
+        """Await a stream read under the given timeout (``None`` = none)."""
+        if timeout is None:
+            return await coro
+        return await asyncio.wait_for(coro, timeout)
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         task = asyncio.current_task()
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
+        connection_index = self._accepted
+        self._accepted += 1
+        fault = connection_action(connection_index)
+        if fault is not None and fault.kind == "drop_connection":
+            # Injected network fault: vanish without a response, exactly
+            # like a reset mid-handshake looks to the client.
+            self.connections_dropped += 1
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            return
+        if self._draining or len(self._connections) >= self.max_connections:
+            self.requests_shed += 1
+            with contextlib.suppress(
+                ConnectionResetError, BrokenPipeError, OSError
+            ):
+                await self._respond(
+                    writer,
+                    503,
+                    {
+                        "error": (
+                            "server is draining"
+                            if self._draining
+                            else (
+                                f"server is at its connection limit "
+                                f"({self.max_connections}); retry shortly"
+                            )
+                        ),
+                        "type": "ServerOverloadedError",
+                    },
+                    retry_after=self.retry_after,
+                )
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            return
         self._connections.add(writer)
         try:
             while True:
-                request_line = await reader.readline()
+                request_line = await self._read_bounded(
+                    reader.readline(), self.idle_timeout
+                )
                 if not request_line or request_line in (b"\r\n", b"\n"):
                     break
+                self._busy.add(task)
                 try:
-                    method, raw_path, _version = (
-                        request_line.decode("latin-1").strip().split(" ", 2)
+                    finished = await self._handle_request(
+                        reader, writer, request_line, fault
                     )
-                except ValueError:
-                    await self._respond(writer, 400, {"error": "malformed request line"})
+                finally:
+                    self._busy.discard(task)
+                fault = None  # injected delays apply to the first request only
+                if not finished or self._draining:
                     break
-                headers: Dict[str, str] = {}
-                while True:
-                    line = await reader.readline()
-                    if line in (b"\r\n", b"\n", b""):
-                        break
-                    name, _, value = line.decode("latin-1").partition(":")
-                    headers[name.strip().lower()] = value.strip()
-                body = b""
-                length = int(headers.get("content-length", 0) or 0)
-                if length:
-                    if length > MAX_BODY_BYTES:
-                        await self._respond(
-                            writer, 413, {"error": "request body too large"}
-                        )
-                        break
-                    body = await reader.readexactly(length)
-                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                status, payload = self._dispatch(method, raw_path, body)
-                await self._respond(writer, status, payload, keep_alive=keep_alive)
-                if not keep_alive:
-                    break
+        except asyncio.TimeoutError:
+            # Idle keep-alive connection reaped; nothing was in flight.
+            pass
         except (
             asyncio.IncompleteReadError,
             ConnectionResetError,
@@ -314,21 +439,93 @@ class QueryServer:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
+    async def _handle_request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request_line: bytes,
+        fault,
+    ) -> bool:
+        """Read, dispatch and answer one request.
+
+        Returns ``True`` when the connection may serve another request,
+        ``False`` when it must close (protocol error, timeout,
+        ``Connection: close``).  Header and body reads are bounded by
+        ``read_timeout`` — a stalled client gets 408, not a leaked task.
+        """
+        try:
+            method, raw_path, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            await self._respond(writer, 400, {"error": "malformed request line"})
+            return False
+        try:
+            headers: Dict[str, str] = {}
+            while True:
+                line = await self._read_bounded(
+                    reader.readline(), self.read_timeout
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length", 0) or 0)
+            if length:
+                if length > MAX_BODY_BYTES:
+                    await self._respond(
+                        writer, 413, {"error": "request body too large"}
+                    )
+                    return False
+                body = await self._read_bounded(
+                    reader.readexactly(length), self.read_timeout
+                )
+        except asyncio.TimeoutError:
+            self.requests_timed_out += 1
+            await self._respond(
+                writer,
+                408,
+                {
+                    "error": (
+                        f"timed out reading the request after "
+                        f"{self.read_timeout}s"
+                    ),
+                    "type": "RequestTimeout",
+                },
+            )
+            return False
+        if fault is not None and fault.kind == "delay_connection":
+            # Injected slow request: stall mid-processing so the chaos
+            # battery can observe graceful drain waiting on it.
+            await asyncio.sleep(fault.seconds)
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        keep_alive = keep_alive and not self._draining
+        status, payload = self._dispatch(method, raw_path, body)
+        await self._respond(writer, status, payload, keep_alive=keep_alive)
+        return keep_alive
+
     async def _respond(
         self,
         writer: asyncio.StreamWriter,
         status: int,
         payload: Dict[str, object],
         keep_alive: bool = False,
+        retry_after: Optional[float] = None,
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed", 413: "Payload Too Large",
-                  500: "Internal Server Error"}.get(status, "OK")
+                  405: "Method Not Allowed", 408: "Request Timeout",
+                  413: "Payload Too Large", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
         body = json.dumps(payload).encode("utf-8")
+        extra = ""
+        if retry_after is not None:
+            extra = f"Retry-After: {max(1, math.ceil(retry_after))}\r\n"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"{_JSON_HEADERS}"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         ).encode("latin-1")
@@ -346,7 +543,15 @@ class QueryServer:
             if path == "/status":
                 if method != "GET":
                     return 405, {"error": f"{method} not allowed on {path}"}
-                return 200, self.service.status()
+                status = self.service.status()
+                status["server"] = {
+                    "connections": len(self._connections),
+                    "max_connections": self.max_connections,
+                    "draining": self._draining,
+                    "requests_shed": self.requests_shed,
+                    "requests_timed_out": self.requests_timed_out,
+                }
+                return 200, status
             if path == "/query" and method == "GET":
                 return self._point_query(parse_qs(parts.query))
             if path == "/query" and method == "POST":
@@ -443,11 +648,16 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8351,
     lru_slices: int = DEFAULT_LRU_SLICES,
+    **server_kwargs,
 ) -> QueryServer:
-    """Load ``store_dir`` and wrap it in an unstarted :class:`QueryServer`."""
+    """Load ``store_dir`` and wrap it in an unstarted :class:`QueryServer`.
+
+    Extra keyword arguments (``max_connections``, ``read_timeout``, ...)
+    pass through to :class:`QueryServer`.
+    """
     result, header = load_store(store_dir)
     service = OracleService(result, header, lru_slices=lru_slices)
-    return QueryServer(service, host=host, port=port)
+    return QueryServer(service, host=host, port=port, **server_kwargs)
 
 
 def serve_store(
@@ -455,13 +665,21 @@ def serve_store(
     host: str = "127.0.0.1",
     port: int = 8351,
     lru_slices: int = DEFAULT_LRU_SLICES,
+    drain_timeout: float = 10.0,
+    **server_kwargs,
 ) -> int:
     """Blocking entry point used by ``repro-msrp serve``.
 
     Loads the store, prints one line describing what is being served, and
-    runs the event loop until interrupted.
+    runs the event loop until SIGTERM or SIGINT, then drains gracefully:
+    the listener closes first, in-flight requests get up to
+    ``drain_timeout`` seconds to finish, and only then does the process
+    exit — so ``kill <pid>`` (the container runtime's stop signal) never
+    clips a response mid-write.
     """
-    server = make_server(store_dir, host=host, port=port, lru_slices=lru_slices)
+    server = make_server(
+        store_dir, host=host, port=port, lru_slices=lru_slices, **server_kwargs
+    )
     header = server.service.header
     print(
         f"serving store {store_dir} "
@@ -471,13 +689,32 @@ def serve_store(
 
     async def _run() -> None:
         await server.start()
-        print(f"listening on http://{server.host}:{server.port}")
-        await server.serve_forever()
+        print(f"listening on http://{server.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loop: fall back to KeyboardInterrupt below
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        try:
+            await asyncio.wait(
+                [serve_task, stop_task], return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            stop_task.cancel()
+            await server.drain(drain_timeout)
+            serve_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await serve_task
 
     try:
         asyncio.run(_run())
-    except KeyboardInterrupt:
-        print("shutting down")
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
+        pass
+    print("shutting down")
     return 0
 
 
@@ -498,11 +735,19 @@ class ServerThread:
         self._server = server
         self._loop = asyncio.new_event_loop()
         self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     @classmethod
-    def from_store(cls, store_dir: str, lru_slices: int = DEFAULT_LRU_SLICES) -> "ServerThread":
-        return cls(make_server(store_dir, port=0, lru_slices=lru_slices))
+    def from_store(
+        cls,
+        store_dir: str,
+        lru_slices: int = DEFAULT_LRU_SLICES,
+        **server_kwargs,
+    ) -> "ServerThread":
+        return cls(
+            make_server(store_dir, port=0, lru_slices=lru_slices, **server_kwargs)
+        )
 
     @classmethod
     def from_result(
@@ -510,13 +755,22 @@ class ServerThread:
         result: ReplacementPathResult,
         header: Optional[StoreHeader] = None,
         lru_slices: int = DEFAULT_LRU_SLICES,
+        **server_kwargs,
     ) -> "ServerThread":
         service = OracleService(result, header, lru_slices=lru_slices)
-        return cls(QueryServer(service, port=0))
+        return cls(QueryServer(service, port=0, **server_kwargs))
 
     def _run(self) -> None:
         asyncio.set_event_loop(self._loop)
-        self._loop.run_until_complete(self._server.start())
+        try:
+            self._loop.run_until_complete(self._server.start())
+        except BaseException as exc:
+            # Surface bind failures (address in use, bad host) to the
+            # caller's thread instead of a generic startup timeout.
+            self._startup_error = exc
+            self._started.set()
+            self._loop.close()
+            return
         self._started.set()
         try:
             self._loop.run_forever()
@@ -528,7 +782,17 @@ class ServerThread:
         self._thread.start()
         if not self._started.wait(timeout=10):
             raise RuntimeError("query server failed to start within 10s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=10)
+            raise self._startup_error
         return self
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Run :meth:`QueryServer.drain` on the server's loop and wait."""
+        future = asyncio.run_coroutine_threadsafe(
+            self._server.drain(timeout), self._loop
+        )
+        return future.result(timeout + 5.0)
 
     @property
     def host(self) -> str:
@@ -537,6 +801,10 @@ class ServerThread:
     @property
     def port(self) -> int:
         return self._server.port
+
+    @property
+    def server(self) -> QueryServer:
+        return self._server
 
     @property
     def service(self) -> OracleService:

@@ -61,6 +61,13 @@ fingerprints rely on.  The graph itself is persisted and reattached, so
 edge validation (``replacement_length`` rejecting non-edges) survives the
 round-trip.
 
+Write atomicity
+---------------
+``write_store`` stages both files into a sibling temporary directory,
+fsyncs them, and renames the staged directory into place — so an
+interrupted preprocess can never leave a half-written store at the target
+path (see ``docs/robustness.md`` for the full failure-mode matrix).
+
 Versioning policy
 -----------------
 ``FORMAT_VERSION`` bumps on any incompatible layout change; readers never
@@ -76,7 +83,9 @@ import hashlib
 import json
 import math
 import os
+import shutil
 import sys
+import tempfile
 import time
 from array import array
 from dataclasses import dataclass, field
@@ -84,6 +93,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.result import PerSourceTable, ReplacementPathResult
 from repro.exceptions import InvalidParameterError
+from repro.faults.harness import checkpoint
 from repro.graph.graph import Graph
 from repro.graph.tree import ShortestPathTree
 
@@ -247,6 +257,64 @@ def _flatten_table(per_source: PerSourceTable) -> Tuple[List[int], List[int], Li
     return targets, counts, edge_u, edge_v, values
 
 
+def _fsync_directory(path: str) -> None:
+    """Flush a directory's entry table to disk (best effort).
+
+    Some filesystems/platforms reject ``fsync`` on directory descriptors;
+    atomicity (the rename barrier) does not depend on it, only crash
+    durability does, so failures are swallowed.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_file_synced(path: str, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _swap_into_place(staging: str, directory: str) -> None:
+    """Atomically promote the fully-written ``staging`` dir to ``directory``.
+
+    A fresh target is one ``os.rename`` (atomic on POSIX).  Overwriting an
+    existing store needs two renames (directories cannot be replaced in
+    one step): the old store moves aside, the new one moves in, and the
+    old one is deleted only after the swap.  At no instant does
+    ``directory`` name a partially written store — the only crash window
+    (between the two renames) leaves it *absent*, which ``load_store``
+    rejects loudly; the interrupted-exception path even restores the old
+    store.  The displaced copy survives as ``<directory>.old.<pid>`` if
+    the process dies before cleanup.
+    """
+    if not os.path.lexists(directory):
+        os.rename(staging, directory)
+        return
+    previous = f"{directory}.old.{os.getpid()}"
+    if os.path.lexists(previous):  # pragma: no cover - pid-collision litter
+        shutil.rmtree(previous, ignore_errors=True)
+    os.rename(directory, previous)
+    try:
+        checkpoint("store.write.swap")
+        os.rename(staging, directory)
+    except BaseException:
+        # An exception between the renames (including an injected crash)
+        # must not leave the target name dangling: put the old store back.
+        if not os.path.lexists(directory) and os.path.lexists(previous):
+            os.rename(previous, directory)
+        raise
+    shutil.rmtree(previous, ignore_errors=True)
+
+
 def write_store(
     directory: str,
     result: ReplacementPathResult,
@@ -259,6 +327,15 @@ def write_store(
     edge validation works on load.  ``meta`` is an optional provenance
     block (e.g. :meth:`MSRPSolver.store_metadata`).  Returns the header
     that was written.
+
+    The write is **atomic**: both files are staged into a sibling
+    temporary directory, fsynced, and renamed into place
+    (:func:`_swap_into_place`).  A crash at any point — mid-segment
+    write, between the two files, during the swap — leaves ``directory``
+    either as the previous complete store or absent, never as a
+    half-written directory that ``load_store`` could partially accept.
+    The checksum/fingerprint validation on load is the second line of
+    defence; this is the first.
     """
     graph = result.graph
     if graph is None:
@@ -306,12 +383,26 @@ def write_store(
         "meta": dict(meta) if meta else {},
     }
 
-    os.makedirs(directory, exist_ok=True)
-    with open(os.path.join(directory, SEGMENTS_NAME), "wb") as handle:
-        handle.write(payload)
-    with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    target = os.path.abspath(directory)
+    parent = os.path.dirname(target)
+    os.makedirs(parent, exist_ok=True)
+    staging = tempfile.mkdtemp(
+        prefix=f"{os.path.basename(target)}.tmp.", dir=parent
+    )
+    try:
+        _write_file_synced(os.path.join(staging, SEGMENTS_NAME), payload)
+        checkpoint("store.write.segments")
+        manifest_text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        _write_file_synced(
+            os.path.join(staging, MANIFEST_NAME), manifest_text.encode("utf-8")
+        )
+        _fsync_directory(staging)
+        checkpoint("store.write.staged")
+        _swap_into_place(staging, target)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    _fsync_directory(parent)
     return StoreHeader.from_manifest(manifest)
 
 

@@ -1,0 +1,337 @@
+"""Chaos battery: the query server and retrying client under faults.
+
+The contract (``docs/robustness.md``): dropped connections, shed load,
+stalled requests and SIGTERM mid-traffic each end in either a correct
+answer (after bounded, seeded retries) or a typed error — the client
+never hangs, never silently returns a wrong length, and never replays a
+non-idempotent request that might already have been processed.
+
+Connection faults are injected at the server's accept path via
+:mod:`repro.faults` (drop the Nth accepted connection, stall its first
+request); overload and drain are driven directly through the public
+knobs (``max_connections=1``, :meth:`ServerThread.drain`).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, ServerOverloadedError
+from repro.faults import Fault, FaultPlan, active_plan, fired_count
+from repro.graph import generators
+from repro.serve import QueryClient, RemoteQueryError, ServerThread
+from repro.serve.client import _REMOTE_TYPES
+from repro.store import graph_fingerprint, write_store
+
+from tests.test_store import solve
+
+TEST_TIME_LIMIT = 120.0
+
+
+@pytest.fixture(autouse=True)
+def hard_time_limit():
+    def _expired(signum, frame):  # pragma: no cover - only fires on bugs
+        raise AssertionError(
+            f"chaos test exceeded the {TEST_TIME_LIMIT}s hang backstop"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIME_LIMIT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    graph = generators.random_connected_graph(13, extra_edges=10, seed=3)
+    _solver, result = solve(graph, seed=3)
+    return result
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory, solved):
+    directory = tmp_path_factory.mktemp("serve_store") / "store"
+    write_store(str(directory), solved)
+    return str(directory)
+
+
+def reference_query(result):
+    """A (source, target, edge, expected) tuple from the solved instance."""
+    source = result.sources[0]
+    edge = next(iter(result.graph.edges()))
+    target = (source + 1) % result.graph.num_vertices
+    expected = result.replacement_length(source, target, edge)
+    return source, target, edge, expected
+
+
+# ---------------------------------------------------------------------------
+# startup failures are loud (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_bind_failure_reraised_not_timeout(solved):
+    """A server that cannot bind raises the actual OSError (address in
+    use) from ``start()`` immediately — not a generic 10s timeout."""
+    blocker = socket.socket()
+    try:
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        from repro.serve.server import OracleService, QueryServer
+
+        service = OracleService(solved)
+        handle = ServerThread(QueryServer(service, port=port))
+        began = time.monotonic()
+        with pytest.raises(OSError):
+            handle.start()
+        assert time.monotonic() - began < 5.0
+    finally:
+        blocker.close()
+
+
+# ---------------------------------------------------------------------------
+# injected connection faults vs the retrying client
+# ---------------------------------------------------------------------------
+
+
+def test_dropped_connection_retried_to_success(tmp_path, solved):
+    """The first accepted connection is dropped without a response; the
+    client's seeded GET retry lands on a fresh connection and gets the
+    right answer."""
+    source, target, edge, expected = reference_query(solved)
+    plan = FaultPlan([Fault("drop_connection", connection_index=0)])
+    with active_plan(plan, str(tmp_path)) as plan_path:
+        with ServerThread.from_result(solved) as handle:
+            client = QueryClient(
+                port=handle.port, retries=3, backoff=0.01, retry_seed=7
+            )
+            assert client.query(source, target, edge) == expected
+            assert handle.server.connections_dropped == 1
+        assert fired_count(plan_path) == 1
+
+
+def test_dropped_connection_post_not_retried(tmp_path, solved):
+    """A POST whose connection drops is NOT replayed: non-idempotent
+    requests surface the failure instead of risking double processing."""
+    source, target, edge, _ = reference_query(solved)
+    plan = FaultPlan([Fault("drop_connection", connection_index=0)])
+    with active_plan(plan, str(tmp_path)):
+        with ServerThread.from_result(solved) as handle:
+            client = QueryClient(
+                port=handle.port, retries=3, backoff=0.01, retry_seed=7
+            )
+            with pytest.raises(RemoteQueryError, match="unreachable"):
+                client.query_batch([(source, target, edge)])
+            # The same client still works for subsequent requests.
+            assert client.status()["sources"] == list(solved.sources)
+
+
+def test_retries_exhausted_is_typed_error(solved):
+    """No server at all: the client gives up after its bounded retries
+    with a typed RemoteQueryError, never an unbounded loop."""
+    sink = socket.socket()
+    try:
+        sink.bind(("127.0.0.1", 0))
+        port = sink.getsockname()[1]
+    finally:
+        sink.close()  # port now closed: connections are refused
+    client = QueryClient(port=port, retries=2, backoff=0.01, retry_seed=7)
+    began = time.monotonic()
+    with pytest.raises(RemoteQueryError, match="3 attempt"):
+        client.query(0, 1, (0, 1))
+    assert time.monotonic() - began < 10.0
+    assert client.retries_performed == 2
+
+
+def test_backoff_schedule_is_seeded():
+    """Two clients with the same retry_seed produce identical backoff
+    schedules; a different seed diverges (jitter is real)."""
+    mk = lambda seed: QueryClient(port=1, retries=3, retry_seed=seed)
+    a = [mk(7)._backoff_delay(k) for k in range(4)]
+    b = [mk(7)._backoff_delay(k) for k in range(4)]
+    c = [mk(8)._backoff_delay(k) for k in range(4)]
+    assert a == b
+    assert a != c
+    # Exponential shape with jitter in [0.5, 1.0) of the base.
+    for k, delay in enumerate(a):
+        base = min(2.0, 0.05 * 2**k)
+        assert 0.5 * base <= delay < base
+
+
+# ---------------------------------------------------------------------------
+# load shedding + graceful drain
+# ---------------------------------------------------------------------------
+
+
+def test_shed_load_returns_503_then_recovers(tmp_path, solved):
+    """With max_connections=1 and the single slot stalled, a second
+    client is shed with 503 + Retry-After; with retries it succeeds once
+    the slot frees, without retries it raises ServerOverloadedError."""
+    source, target, edge, expected = reference_query(solved)
+    # Stall the first accepted connection's request long enough to hold
+    # the only slot while the second client knocks.
+    plan = FaultPlan([Fault("delay_connection", connection_index=0, seconds=1.5)])
+    with active_plan(plan, str(tmp_path)):
+        with ServerThread.from_result(
+            solved, max_connections=1, retry_after=0.1
+        ) as handle:
+            slow_result = {}
+
+            def slow_query():
+                slow = QueryClient(port=handle.port, retries=0)
+                slow_result["value"] = slow.query(source, target, edge)
+                slow.close()
+
+            stalled = threading.Thread(target=slow_query)
+            stalled.start()
+            time.sleep(0.3)  # let the stalled request occupy the slot
+            impatient = QueryClient(port=handle.port, retries=0)
+            with pytest.raises(ServerOverloadedError):
+                impatient.query(source, target, edge)
+            assert _REMOTE_TYPES["ServerOverloadedError"] is ServerOverloadedError
+            patient = QueryClient(
+                port=handle.port, retries=5, backoff=0.2, retry_seed=11
+            )
+            assert patient.query(source, target, edge) == expected
+            assert patient.retries_performed >= 1
+            stalled.join()
+            assert slow_result["value"] == expected
+            assert handle.server.requests_shed >= 1
+
+
+def test_graceful_drain_finishes_in_flight(tmp_path, solved):
+    """Drain with a stalled request in flight: the response completes
+    (drain returns True) and new connections are shed, not answered."""
+    source, target, edge, expected = reference_query(solved)
+    plan = FaultPlan([Fault("delay_connection", connection_index=0, seconds=1.0)])
+    with active_plan(plan, str(tmp_path)):
+        with ServerThread.from_result(solved) as handle:
+            in_flight = {}
+
+            def slow_query():
+                client = QueryClient(port=handle.port, retries=0)
+                in_flight["value"] = client.query(source, target, edge)
+                client.close()
+
+            stalled = threading.Thread(target=slow_query)
+            stalled.start()
+            time.sleep(0.3)  # request is now sleeping inside the server
+            assert handle.drain(timeout=10.0) is True
+            stalled.join()
+            assert in_flight["value"] == expected
+            # The listener is closed: nothing new is served.
+            late = QueryClient(port=handle.port, retries=0)
+            with pytest.raises((RemoteQueryError, ServerOverloadedError)):
+                late.query(source, target, edge)
+
+
+def test_stalled_request_times_out_with_408(solved):
+    """A client that sends half a request and stalls gets 408 within the
+    read timeout — the handler task is reclaimed, not leaked."""
+    with ServerThread.from_result(solved, read_timeout=0.5) as handle:
+        raw = socket.create_connection(("127.0.0.1", handle.port), timeout=10)
+        try:
+            raw.sendall(b"GET /status HTTP/1.1\r\nHost: x\r\n")  # no final CRLF
+            response = b""
+            raw.settimeout(10)
+            while b"\r\n\r\n" not in response:
+                chunk = raw.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+            assert b"408" in response.split(b"\r\n", 1)[0]
+            assert handle.server.requests_timed_out == 1
+        finally:
+            raw.close()
+
+
+def test_invalid_server_knobs_rejected(solved):
+    from repro.serve.server import OracleService, QueryServer
+
+    with pytest.raises(InvalidParameterError):
+        QueryServer(OracleService(solved), max_connections=0)
+    with pytest.raises(InvalidParameterError):
+        QueryClient(retries=-1)
+    with pytest.raises(InvalidParameterError):
+        QueryClient(backoff=0.0)
+
+
+# ---------------------------------------------------------------------------
+# /status identity block (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_status_reports_fingerprint_and_version(store_dir, solved):
+    from repro.store import FORMAT_VERSION
+
+    expected = graph_fingerprint(solved.graph)
+    with ServerThread.from_store(store_dir) as handle:
+        status = QueryClient(port=handle.port).status()
+    assert status["graph_fingerprint"] == expected
+    assert status["format_version"] == FORMAT_VERSION
+    assert status["server"]["max_connections"] >= 1
+    assert status["server"]["draining"] is False
+
+    # Headerless (from_result) servers recompute the same fingerprint.
+    with ServerThread.from_result(solved) as handle:
+        status = QueryClient(port=handle.port).status()
+    assert status["graph_fingerprint"] == expected
+    assert status["format_version"] == FORMAT_VERSION
+
+
+# ---------------------------------------------------------------------------
+# SIGTERM drains the real CLI server process (satellite)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_sigterm_graceful_shutdown(store_dir):
+    """``repro-msrp serve`` under SIGTERM: answers traffic, prints the
+    shutdown line, exits 0 — the container-stop path end to end."""
+    import os
+
+    import repro
+
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", "serve",
+         "--store", store_dir, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if line.startswith("listening on"):
+                port = int(line.rsplit(":", 1)[1])
+                break
+        assert port, "server never reported its port"
+        client = QueryClient(port=port, retries=2, backoff=0.05, retry_seed=3)
+        assert client.status()["format_version"] >= 1
+        client.close()
+        proc.terminate()  # SIGTERM
+        remaining = proc.stdout.read()
+        code = proc.wait(timeout=30)
+        assert code == 0, f"serve exited {code}: {remaining}"
+        assert "shutting down" in remaining
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait()

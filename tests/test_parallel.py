@@ -214,7 +214,7 @@ class TestWorkerPool:
         tls.context = {"stale": True}
         try:
             with pytest.raises(InternalInvariantError, match="generation"):
-                pool_module._dispatch_chunk((bfs_roots_task, 4, [0]))
+                pool_module._dispatch_chunk((bfs_roots_task, 4, 0, [0]))
         finally:
             del tls.generation
             del tls.context
