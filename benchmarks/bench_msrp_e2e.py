@@ -52,14 +52,26 @@ def sparse_workload(num_vertices: int, seed: int):
 
 
 def run_key(
-    n: int, sigma: int, strategy: str, workers: int = 0, pool_reuse: bool = True
+    n: int,
+    sigma: int,
+    strategy: str,
+    workers: int = 0,
+    pool_reuse: bool = True,
+    numpy_tier: Optional[bool] = None,
 ) -> str:
-    """Stable row key; serial and reuse-on rows keep historical keys."""
+    """Stable row key; serial and reuse-on rows keep historical keys.
+
+    ``numpy_tier=None`` (whatever the environment selects) adds no
+    suffix, so pre-existing baselines keep diffing; explicit tier rows
+    get ``,numpy=on`` / ``,numpy=off``.
+    """
     key = f"n={n},sigma={sigma},strategy={strategy}"
     if workers:
         key += f",workers={workers}"
         if not pool_reuse:
             key += ",pool_reuse=off"
+    if numpy_tier is not None:
+        key += f",numpy={'on' if numpy_tier else 'off'}"
     return key
 
 
@@ -92,6 +104,30 @@ def fingerprint(result) -> Dict[str, float]:
     return {"entries": entries, "finite_sum": finite_sum, "infinite": infinite}
 
 
+def _tier_env(numpy_tier: Optional[bool]):
+    """Context manager pinning ``REPRO_NUMPY`` for one run (None = leave)."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def _pin():
+        if numpy_tier is None:
+            yield
+            return
+        from repro.npsupport import NUMPY_ENV_VAR
+
+        previous = os.environ.get(NUMPY_ENV_VAR)
+        os.environ[NUMPY_ENV_VAR] = "1" if numpy_tier else "0"
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop(NUMPY_ENV_VAR, None)
+            else:
+                os.environ[NUMPY_ENV_VAR] = previous
+
+    return _pin()
+
+
 def run_one(
     n: int,
     sigma: int,
@@ -99,37 +135,49 @@ def run_one(
     repeat: int,
     workers: int = 0,
     pool_reuse: bool = True,
+    numpy_tier: Optional[bool] = None,
 ) -> Dict:
-    """Run one configuration ``repeat`` times and keep the best wall time."""
+    """Run one configuration ``repeat`` times and keep the best wall time.
+
+    ``numpy_tier`` pins the kernel tier for the run (sharded workers
+    inherit it through the environment); ``None`` leaves the ambient
+    environment untouched, which preserves historical row semantics.
+    """
     graph = sparse_workload(n, seed=n)
     rng = random.Random(n)
     sources = sorted(rng.sample(range(n), min(sigma, n)))
     best: Optional[Dict] = None
-    for _ in range(repeat):
-        solver = MSRPSolver(
-            graph,
-            sources,
-            params=AlgorithmParams(seed=n, workers=workers, pool_reuse=pool_reuse),
-            landmark_strategy=strategy,
-        )
-        start = time.perf_counter()
-        result = solver.solve()
-        wall = time.perf_counter() - start
-        if best is None or wall < best["wall_seconds"]:
-            best = {
-                "key": run_key(n, sigma, strategy, workers, pool_reuse),
-                "n": n,
-                "sigma": sigma,
-                "strategy": strategy,
-                "workers": workers,
-                "pool_reuse": bool(pool_reuse),
-                "sources": sources,
-                "num_edges": graph.num_edges,
-                "wall_seconds": wall,
-                "phase_seconds": dict(solver.phase_seconds),
-                "aux_breakdown": aux_breakdown(solver.phase_seconds),
-                "fingerprint": fingerprint(result),
-            }
+    with _tier_env(numpy_tier):
+        for _ in range(repeat):
+            solver = MSRPSolver(
+                graph,
+                sources,
+                params=AlgorithmParams(
+                    seed=n, workers=workers, pool_reuse=pool_reuse
+                ),
+                landmark_strategy=strategy,
+            )
+            start = time.perf_counter()
+            result = solver.solve()
+            wall = time.perf_counter() - start
+            if best is None or wall < best["wall_seconds"]:
+                best = {
+                    "key": run_key(
+                        n, sigma, strategy, workers, pool_reuse, numpy_tier
+                    ),
+                    "n": n,
+                    "sigma": sigma,
+                    "strategy": strategy,
+                    "workers": workers,
+                    "pool_reuse": bool(pool_reuse),
+                    "numpy": numpy_tier,
+                    "sources": sources,
+                    "num_edges": graph.num_edges,
+                    "wall_seconds": wall,
+                    "phase_seconds": dict(solver.phase_seconds),
+                    "aux_breakdown": aux_breakdown(solver.phase_seconds),
+                    "fingerprint": fingerprint(result),
+                }
     assert best is not None
     return best
 
@@ -141,9 +189,10 @@ def run_suite(
     repeat: int,
     workers_list: Optional[List[int]] = None,
     pool_reuse_modes: Optional[List[bool]] = None,
+    numpy_modes: Optional[List[Optional[bool]]] = None,
     verbose: bool = True,
 ) -> List[Dict]:
-    """One row per (size, worker count, pool-reuse mode).
+    """One row per (size, worker count, pool-reuse mode, kernel tier).
 
     Serial and reuse-on rows keep historical keys so baselines keep
     diffing; reuse-off rows (``pool_reuse_modes`` including ``False``)
@@ -156,6 +205,7 @@ def run_suite(
     """
     workers_list = workers_list if workers_list is not None else [0]
     pool_reuse_modes = pool_reuse_modes if pool_reuse_modes is not None else [True]
+    numpy_modes = numpy_modes if numpy_modes is not None else [None]
     runs = []
     for n in sizes:
         for workers in workers_list:
@@ -163,32 +213,47 @@ def run_suite(
             # rows run once regardless of the requested modes.
             modes = [True] if workers == 0 else pool_reuse_modes
             for pool_reuse in modes:
-                run = run_one(
-                    n, sigma, strategy, repeat, workers=workers, pool_reuse=pool_reuse
-                )
-                runs.append(run)
-                if verbose:
-                    phases = ", ".join(
-                        f"{name}={seconds:.3f}s"
-                        for name, seconds in sorted(
-                            run["phase_seconds"].items(), key=lambda kv: -kv[1]
-                        )
+                for numpy_tier in numpy_modes:
+                    run = run_one(
+                        n,
+                        sigma,
+                        strategy,
+                        repeat,
+                        workers=workers,
+                        pool_reuse=pool_reuse,
+                        numpy_tier=numpy_tier,
                     )
-                    print(f"{run['key']}: {run['wall_seconds']:.3f}s  ({phases})")
-                    breakdown = run["aux_breakdown"]
-                    if any(breakdown.values()):
-                        print(
-                            "  aux breakdown: "
-                            + ", ".join(
-                                f"{name}={seconds:.3f}s"
-                                for name, seconds in breakdown.items()
+                    runs.append(run)
+                    if verbose:
+                        phases = ", ".join(
+                            f"{name}={seconds:.3f}s"
+                            for name, seconds in sorted(
+                                run["phase_seconds"].items(), key=lambda kv: -kv[1]
                             )
                         )
+                        print(
+                            f"{run['key']}: {run['wall_seconds']:.3f}s  ({phases})"
+                        )
+                        breakdown = run["aux_breakdown"]
+                        if any(breakdown.values()):
+                            print(
+                                "  aux breakdown: "
+                                + ", ".join(
+                                    f"{name}={seconds:.3f}s"
+                                    for name, seconds in breakdown.items()
+                                )
+                            )
     return runs
 
 
 def check_worker_fingerprints(runs: List[Dict]) -> None:
-    """Fail loudly if any worker count / pool-reuse mode diverged."""
+    """Fail loudly if any worker count / pool-reuse / kernel tier diverged.
+
+    Rows group by the base ``(n, sigma, strategy)`` key, so the
+    ``,numpy=on`` and ``,numpy=off`` rows of one instance are held to the
+    same fingerprint as every worker configuration — a vectorized speedup
+    can never silently come from computing something different.
+    """
     by_config: Dict[str, Dict] = {}
     for run in runs:
         config = run_key(run["n"], run["sigma"], run["strategy"])
@@ -209,6 +274,11 @@ def attach_baseline(payload: Dict, baseline_path: str) -> None:
     speedups: Dict[str, float] = {}
     for run in payload["runs"]:
         old = baseline_runs.get(run["key"])
+        if old is None:
+            # Tier-pinned rows (",numpy=on/off") fall back to the
+            # baseline's tier-less key, so a pre-tier baseline still
+            # yields speedups for the new kernel-tier rows.
+            old = baseline_runs.get(run["key"].split(",numpy=")[0])
         if old is not None and run["wall_seconds"] > 0:
             speedups[run["key"]] = old["wall_seconds"] / run["wall_seconds"]
     payload["baseline"] = {
@@ -265,6 +335,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--numpy",
+        choices=("auto", "on", "off", "both"),
+        default="auto",
+        metavar="MODE",
+        help=(
+            "kernel tier for the rows: 'auto' (default) leaves the "
+            "environment's REPRO_NUMPY untouched and adds no key suffix, "
+            "'on'/'off' pin one tier (suffix ',numpy=on'/',numpy=off'), "
+            "'both' records a row per tier so the trajectory captures the "
+            "vectorized speedup with a cross-tier fingerprint check"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         metavar="PATH",
         help="previous JSON report to embed and compute speedups against",
@@ -283,6 +366,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     pool_reuse_modes = {"on": [True], "off": [False], "both": [True, False]}[
         args.pool_reuse
     ]
+    numpy_modes: List[Optional[bool]] = {
+        "auto": [None],
+        "on": [True],
+        "off": [False],
+        "both": [True, False],
+    }[args.numpy]
+    if True in numpy_modes:
+        from repro.npsupport import require_numpy
+
+        require_numpy(f"bench_msrp_e2e --numpy {args.numpy}")
     runs = run_suite(
         sizes,
         args.sigma,
@@ -290,6 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max(1, args.repeat),
         workers_list,
         pool_reuse_modes,
+        numpy_modes,
     )
     check_worker_fingerprints(runs)
 
@@ -306,6 +400,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "fast": bool(args.fast),
             "workers": workers_list,
             "pool_reuse": args.pool_reuse,
+            "numpy": args.numpy,
         },
         "runs": runs,
     }

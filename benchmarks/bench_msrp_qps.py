@@ -98,6 +98,45 @@ def measure_pass(
     return (len(queries) / elapsed if elapsed > 0 else 0.0, answers)
 
 
+def measure_cold_start(directory: str, repeat: int = 3) -> Dict[str, object]:
+    """Store-load latency: mmap zero-copy vs classic read-then-decode.
+
+    The serve cold-start is dominated by :func:`repro.store.load_store`;
+    this row records the best-of-``repeat`` wall time for both load modes
+    (the mmap field is ``None`` when numpy is unavailable) and asserts the
+    two loads answer identically, so a faster start can never come from
+    decoding something different.
+    """
+    from repro.npsupport import numpy_available
+    from repro.store import load_store
+
+    def best_of(mmap_mode: Optional[bool]) -> Tuple[float, object]:
+        best_seconds = math.inf
+        loaded = None
+        for _ in range(repeat):
+            start = time.perf_counter()
+            result, _header = load_store(directory, mmap=mmap_mode)
+            elapsed = time.perf_counter() - start
+            if elapsed < best_seconds:
+                best_seconds = elapsed
+                loaded = result
+        return best_seconds, loaded
+
+    classic_seconds, classic = best_of(False)
+    row: Dict[str, object] = {
+        "load_classic_seconds": classic_seconds,
+        "load_mmap_seconds": None,
+    }
+    if numpy_available():
+        mmap_seconds, mapped = best_of(True)
+        row["load_mmap_seconds"] = mmap_seconds
+        if list(mapped.iter_entries()) != list(classic.iter_entries()):
+            raise AssertionError(
+                "mmap-loaded store answers diverged from the classic load"
+            )
+    return row
+
+
 def run_one(
     n: int,
     sigma: int,
@@ -132,6 +171,7 @@ def run_one(
             os.path.getsize(os.path.join(directory, name))
             for name in os.listdir(directory)
         )
+        cold_start = measure_cold_start(directory)
 
         # Fresh server per pass so the cold pass starts with an empty LRU.
         with ServerThread.from_store(directory) as handle:
@@ -171,6 +211,7 @@ def run_one(
         "output_entries": result.output_size,
         "preprocess_seconds": preprocess_seconds,
         "store_bytes": store_bytes,
+        "cold_start": cold_start,
         "distinct_slices": len(pool),
         "cold": {
             "num_queries": len(cold_queries),
@@ -226,9 +267,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     for n in sizes:
         run = run_one(n, args.sigma, args.strategy, args.queries, args.hot_slices)
         runs.append(run)
+        mmap_seconds = run["cold_start"]["load_mmap_seconds"]
+        mmap_text = (
+            f", load mmap {mmap_seconds * 1e3:.1f}ms"
+            if mmap_seconds is not None
+            else ""
+        )
         print(
             f"{run['key']}: preprocess {run['preprocess_seconds']:.3f}s, "
             f"store {run['store_bytes']} B, "
+            f"load classic "
+            f"{run['cold_start']['load_classic_seconds'] * 1e3:.1f}ms"
+            f"{mmap_text}, "
             f"cold {run['cold']['qps']:.0f} qps "
             f"(hit rate {run['cold']['lru_hit_rate']:.0%}), "
             f"hot {run['hot']['qps']:.0f} qps "

@@ -36,6 +36,7 @@ from repro.core.params import ProblemScale
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
 from repro.multisource.centers import CenterHierarchy
+from repro.npsupport import np, numpy_enabled
 from repro.rp.dijkstra import AuxiliaryGraphBuilder, InternedAuxiliaryGraph, dijkstra
 
 #: (endpoint, failed edge) -> replacement length
@@ -70,6 +71,91 @@ def _first_edges_from_root(
     path = tree.path_to(vertex)
     count = min(limit, len(path) - 1)
     return [normalize_edge(path[i], path[i + 1]) for i in range(count)]
+
+
+def _fold_via_np(
+    best: List[float],
+    reachable: List[int],
+    trees: Mapping[int, ShortestPathTree],
+    edge_entries: Dict[int, List[Tuple[int, int]]],
+    e_index: Dict[Edge, int],
+    bounds: List[Tuple[int, int]],
+    base_tin: Sequence[int],
+    base_dist: Sequence[float],
+    max_tin: int,
+) -> List[float]:
+    """Vectorized twin of the via-fold double loop (numpy tier).
+
+    Both Section 8 builders fold the dominant ``via [x']`` arc family into
+    the per-node seed minima with the same ``|L|^2 x budget`` sweep; this
+    helper flattens every ``(x, e)`` entry across all keys into one index
+    triple up front and replaces the two inner loops with a single masked
+    gather + fancy-indexed minimum per ``x'``.  The candidates
+    ``cand_base + hop`` are IEEE-double additions — bit-identical to the
+    reference loop's Python-float arithmetic — and each ``(x, e)`` node id
+    occurs exactly once in the flattened entry list, so the fancy-indexed
+    assignment is an exact minimum fold.  Returns the folded minima as a
+    plain list of Python floats.
+    """
+    num_distinct = len(bounds)
+    best_np = np.array(best, dtype=np.float64)
+    total = sum(len(entries) for entries in edge_entries.values())
+    if not total:
+        return best_np.tolist()
+    # One flattened row per (key, e) table slot: the distinct-edge index,
+    # the aux node id and the key vertex.  Node ids are unique across rows
+    # (each belongs to exactly one (key, e) pair), which is what makes the
+    # fancy-indexed minimum below exact.
+    flat_eidx = np.empty(total, dtype=np.intp)
+    flat_node = np.empty(total, dtype=np.intp)
+    flat_key = np.empty(total, dtype=np.intp)
+    pos = 0
+    for key, entries in edge_entries.items():
+        for idx, node_id in entries:
+            flat_eidx[pos] = idx
+            flat_node[pos] = node_id
+            flat_key[pos] = key
+            pos += 1
+    # ``e_index`` maps each distinct edge to 0..num_distinct-1 in insertion
+    # order, so iterating its keys enumerates edges by index.
+    distinct_edges = list(e_index)
+    bounds_lo = np.fromiter(
+        (b[0] for b in bounds), dtype=np.int64, count=num_distinct
+    )
+    bounds_hi = np.fromiter(
+        (b[1] for b in bounds), dtype=np.int64, count=num_distinct
+    )
+    for other in reachable:
+        other_tree = trees[other]
+        o_tec_get = other_tree.edge_child_map().get
+        o_dist_np, o_tin_np, o_tout_np = other_tree.np_views()
+        t_other = base_tin[other]
+        cand_base = float(base_dist[other])
+        # Same per-distinct-edge interval resolution as the reference loop:
+        # (1, 0) = empty unless e is a tree edge of other's tree, widened to
+        # cover every tin when e lies on the canonical base path to other.
+        # The only per-edge Python work left is the edge-child dict probe.
+        child_a = np.fromiter(
+            (o_tec_get(e, -1) for e in distinct_edges),
+            dtype=np.int64,
+            count=num_distinct,
+        )
+        has_child = child_a >= 0
+        safe = np.where(has_child, child_a, 0)
+        lo_a = np.where(has_child, o_tin_np[safe], 1)
+        hi_a = np.where(has_child, o_tout_np[safe], 0)
+        on_base = (bounds_lo <= t_other) & (t_other <= bounds_hi)
+        lo_a[on_base] = -1
+        hi_a[on_base] = max_tin
+        hop = o_dist_np[flat_key]
+        t_key = o_tin_np[flat_key]
+        covered = (lo_a[flat_eidx] <= t_key) & (t_key <= hi_a[flat_eidx])
+        valid = np.isfinite(hop) & ~covered
+        if not valid.any():
+            continue
+        sel = flat_node[valid]
+        best_np[sel] = np.minimum(best_np[sel], cand_base + hop[valid])
+    return best_np.tolist()
 
 
 # ---------------------------------------------------------------------------
@@ -171,37 +257,51 @@ def compute_source_to_center_tables(
     # The via-[c'] fold: per c' the distinct edges resolve against c''s
     # tree once, with "e lies on the canonical s-c' path" merged in as an
     # everything-covers interval — one containment test per (c', c, e).
+    # The vectorized tier runs the identical sweep through _fold_via_np.
     max_tin = 2 * len(source_tree.parent)
-    for other in reachable_centers:
-        other_tree = center_trees[other]
-        o_dist = other_tree.dist
-        o_tec_get = other_tree.edge_child_map().get
-        o_tin, o_tout = other_tree.euler_intervals()
-        s_t_other = s_tin[other]
-        cand_base = float(source_dist[other])
-        o_lo = [1] * num_distinct
-        o_hi = [0] * num_distinct
-        for e, idx in e_index.items():
-            lo, hi = s_bounds[idx]
-            if lo <= s_t_other <= hi:
-                o_lo[idx] = -1
-                o_hi[idx] = max_tin
-                continue
-            child = o_tec_get(e)
-            if child is not None:
-                o_lo[idx] = o_tin[child]
-                o_hi[idx] = o_tout[child]
-        for center in reachable_centers:
-            hop = o_dist[center]
-            if hop is math.inf:
-                continue
-            cand = cand_base + hop
-            o_t_center = o_tin[center]
-            for idx, target_id in edge_entries[center]:
-                if o_lo[idx] <= o_t_center <= o_hi[idx]:
+    if numpy_enabled() and num_distinct:
+        best = _fold_via_np(
+            best,
+            reachable_centers,
+            center_trees,
+            edge_entries,
+            e_index,
+            s_bounds,
+            s_tin,
+            source_dist,
+            max_tin,
+        )
+    else:
+        for other in reachable_centers:
+            other_tree = center_trees[other]
+            o_dist = other_tree.dist
+            o_tec_get = other_tree.edge_child_map().get
+            o_tin, o_tout = other_tree.euler_intervals()
+            s_t_other = s_tin[other]
+            cand_base = float(source_dist[other])
+            o_lo = [1] * num_distinct
+            o_hi = [0] * num_distinct
+            for e, idx in e_index.items():
+                lo, hi = s_bounds[idx]
+                if lo <= s_t_other <= hi:
+                    o_lo[idx] = -1
+                    o_hi[idx] = max_tin
                     continue
-                if cand < best[target_id]:
-                    best[target_id] = cand
+                child = o_tec_get(e)
+                if child is not None:
+                    o_lo[idx] = o_tin[child]
+                    o_hi[idx] = o_tout[child]
+            for center in reachable_centers:
+                hop = o_dist[center]
+                if hop is math.inf:
+                    continue
+                cand = cand_base + hop
+                o_t_center = o_tin[center]
+                for idx, target_id in edge_entries[center]:
+                    if o_lo[idx] <= o_t_center <= o_hi[idx]:
+                        continue
+                    if cand < best[target_id]:
+                        best[target_id] = cand
     add_arc = aux.add_arc
     for node_id, value in enumerate(best):
         if value != inf:
@@ -463,42 +563,56 @@ def compute_center_to_landmark_tables(
     # the [r'] term) is merged into the same arrays as an everything-covers
     # interval, leaving a single containment test per (r', r, e).
     # Euler timestamps span [0, 2n); anything >= 2n upper-bounds every tin.
+    # The vectorized tier runs the identical sweep through _fold_via_np.
     max_tin = 2 * len(center_tree.parent)
-    for other in reachable_landmarks:
-        other_tree = landmark_trees[other]
-        o_dist = other_tree.dist
-        o_tec_get = other_tree.edge_child_map().get
-        o_tin, o_tout = other_tree.euler_intervals()
-        c_t_other = c_tin[other]
-        cand_base = float(center_dist[other])
-        # Per distinct edge: the subtree interval in r''s tree ((1, 0) —
-        # empty — when e is not a tree edge there), widened to cover every
-        # tin when e lies on the canonical c-r' path.
-        o_lo = [1] * num_distinct
-        o_hi = [0] * num_distinct
-        for e, idx in e_index.items():
-            lo, hi = c_bounds[idx]
-            if lo <= c_t_other <= hi:
-                o_lo[idx] = -1
-                o_hi[idx] = max_tin
-                continue
-            child = o_tec_get(e)
-            if child is not None:
-                o_lo[idx] = o_tin[child]
-                o_hi[idx] = o_tout[child]
-        for landmark in reachable_landmarks:
-            hop = o_dist[landmark]
-            if hop is math.inf:
-                continue
-            cand = cand_base + hop
-            o_t_landmark = o_tin[landmark]
-            for idx, target_id in edge_entries[landmark]:
-                # other_tree.tree_path_uses_edge(e, landmark), or e on the
-                # canonical c-r' path (widened interval)
-                if o_lo[idx] <= o_t_landmark <= o_hi[idx]:
+    if numpy_enabled() and num_distinct:
+        best = _fold_via_np(
+            best,
+            reachable_landmarks,
+            landmark_trees,
+            edge_entries,
+            e_index,
+            c_bounds,
+            c_tin,
+            center_dist,
+            max_tin,
+        )
+    else:
+        for other in reachable_landmarks:
+            other_tree = landmark_trees[other]
+            o_dist = other_tree.dist
+            o_tec_get = other_tree.edge_child_map().get
+            o_tin, o_tout = other_tree.euler_intervals()
+            c_t_other = c_tin[other]
+            cand_base = float(center_dist[other])
+            # Per distinct edge: the subtree interval in r''s tree ((1, 0) —
+            # empty — when e is not a tree edge there), widened to cover
+            # every tin when e lies on the canonical c-r' path.
+            o_lo = [1] * num_distinct
+            o_hi = [0] * num_distinct
+            for e, idx in e_index.items():
+                lo, hi = c_bounds[idx]
+                if lo <= c_t_other <= hi:
+                    o_lo[idx] = -1
+                    o_hi[idx] = max_tin
                     continue
-                if cand < best[target_id]:
-                    best[target_id] = cand
+                child = o_tec_get(e)
+                if child is not None:
+                    o_lo[idx] = o_tin[child]
+                    o_hi[idx] = o_tout[child]
+            for landmark in reachable_landmarks:
+                hop = o_dist[landmark]
+                if hop is math.inf:
+                    continue
+                cand = cand_base + hop
+                o_t_landmark = o_tin[landmark]
+                for idx, target_id in edge_entries[landmark]:
+                    # other_tree.tree_path_uses_edge(e, landmark), or e on
+                    # the canonical c-r' path (widened interval)
+                    if o_lo[idx] <= o_t_landmark <= o_hi[idx]:
+                        continue
+                    if cand < best[target_id]:
+                        best[target_id] = cand
     add_arc = aux.add_arc
     for node_id, value in enumerate(best):
         if value != inf:

@@ -56,6 +56,8 @@ from typing import (
     Tuple,
 )
 
+from repro.npsupport import np, numpy_enabled
+
 Node = Hashable
 AdjacencyMap = Mapping[Node, Sequence[Tuple[Node, float]]]
 
@@ -317,6 +319,9 @@ class InternedAuxiliaryGraph:
         "_csr_offsets",
         "_csr_dst",
         "_csr_w",
+        "_heap_offsets",
+        "_heap_dst",
+        "_heap_w",
     )
 
     def __init__(self) -> None:
@@ -325,9 +330,16 @@ class InternedAuxiliaryGraph:
         self._arc_src: array = array("i")
         self._arc_dst: array = array("i")
         self._arc_w: array = array("d")
-        self._csr_offsets: Optional[array] = None
-        self._csr_dst: Optional[array] = None
-        self._csr_w: Optional[array] = None
+        self._csr_offsets = None
+        self._csr_dst = None
+        self._csr_w = None
+        # Python-native mirrors of the compiled CSR triple for the heap
+        # loop: lists in the numpy tier (indexing an ndarray would hand
+        # the loop numpy scalars, which must never reach the dist values),
+        # the typed arrays themselves in the fallback tier.
+        self._heap_offsets = None
+        self._heap_dst = None
+        self._heap_w = None
 
     # -- construction --------------------------------------------------------
 
@@ -408,6 +420,9 @@ class InternedAuxiliaryGraph:
         self._csr_offsets = None
         self._csr_dst = None
         self._csr_w = None
+        self._heap_offsets = None
+        self._heap_dst = None
+        self._heap_w = None
 
     def id_of(self, node: Node) -> Optional[int]:
         """The dense id of ``node`` (``None`` when never interned)."""
@@ -419,11 +434,15 @@ class InternedAuxiliaryGraph:
         """Bucket the arc arrays into typed-array CSR rows; validate weights once.
 
         Runs once per (graph, mutation) — the auxiliary graphs are built
-        fully and then solved, so in practice once per graph.  The compiled
-        ``offsets`` / ``targets`` / ``weights`` triple stays in typed arrays
-        (``'i'``/``'i'``/``'d'``): the heap loop slices rows out of them
-        directly and a native backend can adopt the buffers as-is.
+        fully and then solved, so in practice once per graph.  In the
+        numpy tier the triple is bucketed vectorized (zero-copy
+        ``frombuffer`` views over the arc arrays, one stable argsort) into
+        ndarrays; the fallback keeps typed arrays (``'i'``/``'i'``/``'d'``).
+        Either way a native backend can adopt the buffers as-is, and the
+        heap loop gets Python-native mirrors (see ``__init__``).
         """
+        if numpy_enabled():
+            return self._compile_np()
         n = len(self._nodes)
         arc_src, arc_dst, arc_w = self._arc_src, self._arc_dst, self._arc_w
         m = len(arc_src)
@@ -458,6 +477,49 @@ class InternedAuxiliaryGraph:
         self._csr_offsets = offsets
         self._csr_dst = targets
         self._csr_w = weights
+        self._heap_offsets = offsets
+        self._heap_dst = targets
+        self._heap_w = weights
+        return offsets, targets, weights
+
+    def _compile_np(self):
+        """Vectorized CSR bucketing (numpy tier).
+
+        A stable argsort on the arc sources is exactly the cursor-based
+        bucketing of the fallback path — arcs land in their row in input
+        order — so the compiled triple is element-identical across tiers.
+        """
+        n = len(self._nodes)
+        arc_src, arc_dst, arc_w = self._arc_src, self._arc_dst, self._arc_w
+        m = len(arc_src)
+        if m:
+            src = np.frombuffer(arc_src, dtype=np.intc)
+            dst = np.frombuffer(arc_dst, dtype=np.intc)
+            w = np.frombuffer(arc_w, dtype=np.float64)
+            if float(w.min()) < 0:
+                k = int(w.argmin())
+                raise ValueError(
+                    f"negative weight {arc_w[k]} on auxiliary edge "
+                    f"{self._nodes[arc_src[k]]} -> {self._nodes[arc_dst[k]]}"
+                )
+            counts = np.bincount(src, minlength=n)
+            offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            perm = np.argsort(src, kind="stable")
+            targets = dst[perm]
+            weights = w[perm]
+        else:
+            offsets = np.zeros(n + 1, dtype=np.int64)
+            targets = np.zeros(0, dtype=np.intc)
+            weights = np.zeros(0, dtype=np.float64)
+        self._csr_offsets = offsets
+        self._csr_dst = targets
+        self._csr_w = weights
+        # tolist() boxes to plain Python ints/floats in one C pass; the
+        # heap loop never touches the ndarrays directly.
+        self._heap_offsets = offsets.tolist()
+        self._heap_dst = targets.tolist()
+        self._heap_w = weights.tolist()
         return offsets, targets, weights
 
     def compiled_csr(self) -> Tuple[array, array, array]:
@@ -493,8 +555,11 @@ class InternedAuxiliaryGraph:
         # compiled_csr() recompiles when missing or stale — arcs appended
         # through the raw arc_lists() references after a previous run (they
         # grow the arc arrays past the compiled total) and nodes interned
-        # after compilation both invalidate the cached arrays.
-        offsets, dst, weights = self.compiled_csr()
+        # after compilation both invalidate the cached arrays.  The loop
+        # itself consumes the Python-native mirrors _compile installs so
+        # every distance stays a plain float regardless of tier.
+        self.compiled_csr()
+        offsets, dst, weights = self._heap_offsets, self._heap_dst, self._heap_w
         source_id = self.intern(source)
         n = len(self._nodes)
         inf = _INF

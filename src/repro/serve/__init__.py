@@ -19,10 +19,12 @@ from repro.serve.client import QueryClient, RemoteQueryError
 from repro.serve.server import (
     DEFAULT_LRU_SLICES,
     DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_RATE_WINDOW_SECONDS,
     DEFAULT_READ_TIMEOUT,
     DEFAULT_RETRY_AFTER,
     OracleService,
     QueryServer,
+    RateWindow,
     ServerThread,
     SliceCache,
     make_server,
@@ -32,11 +34,13 @@ from repro.serve.server import (
 __all__ = [
     "DEFAULT_LRU_SLICES",
     "DEFAULT_MAX_CONNECTIONS",
+    "DEFAULT_RATE_WINDOW_SECONDS",
     "DEFAULT_READ_TIMEOUT",
     "DEFAULT_RETRY_AFTER",
     "OracleService",
     "QueryClient",
     "QueryServer",
+    "RateWindow",
     "RemoteQueryError",
     "ServerThread",
     "SliceCache",

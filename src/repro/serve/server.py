@@ -10,8 +10,11 @@ dependencies to the container.
 Endpoints
 ---------
 ``GET /status``
-    Store header summary, uptime, query counters, LRU hit rate and the
-    lifetime queries/sec.
+    Store header summary, uptime, query counters, LRU hit rate and two
+    queries/sec figures: ``qps`` (lifetime average) and ``qps_recent``
+    (sliding window over the last ``qps_window_seconds`` seconds — the
+    lifetime average decays toward zero on a long-lived server, so the
+    window is the honest load signal).
 ``GET /query?source=S&target=T&u=U&v=V``
     One replacement length.  The response encodes infinite lengths as
     ``{"length": null, "infinite": true}`` so the body stays strict JSON.
@@ -77,6 +80,55 @@ DEFAULT_RETRY_AFTER = 1.0
 
 _JSON_HEADERS = "Content-Type: application/json\r\n"
 
+#: Default span of the sliding-window query rate reported by ``/status``.
+DEFAULT_RATE_WINDOW_SECONDS = 30
+
+
+class RateWindow:
+    """Sliding-window event rate: queries/sec over the last ``window`` s.
+
+    The lifetime average (``total / uptime``) decays toward zero on a
+    long-lived server no matter how busy it is *right now*; this ring of
+    per-second buckets answers "how busy in the last N seconds" instead.
+    ``note()`` is O(1); ``rate()`` sums at most ``window`` buckets.  The
+    clock is injectable so tests can drive time deterministically.
+    """
+
+    def __init__(
+        self,
+        window: int = DEFAULT_RATE_WINDOW_SECONDS,
+        clock=time.monotonic,
+    ):
+        if window < 1:
+            raise InvalidParameterError(
+                f"rate window must be at least 1 second, got {window}"
+            )
+        self.window = window
+        self._clock = clock
+        self._counts = [0] * window
+        #: absolute second each ring slot currently describes; a slot is
+        #: lazily reset when ``note`` revisits it in a later second, and
+        #: ``rate`` ignores slots outside the window, so no timer is needed.
+        self._seconds: List[Optional[int]] = [None] * window
+
+    def note(self, count: int = 1) -> None:
+        """Record ``count`` events at the current clock second."""
+        now = int(self._clock())
+        slot = now % self.window
+        if self._seconds[slot] != now:
+            self._seconds[slot] = now
+            self._counts[slot] = 0
+        self._counts[slot] += count
+
+    def rate(self) -> float:
+        """Events per second over the trailing window (inclusive of now)."""
+        now = int(self._clock())
+        total = 0
+        for second, count in zip(self._seconds, self._counts):
+            if second is not None and now - self.window < second <= now:
+                total += count
+        return total / self.window
+
 
 class SliceCache:
     """LRU over ``(source, edge) -> {target: length}`` slices."""
@@ -127,10 +179,12 @@ class OracleService:
         result: ReplacementPathResult,
         header: Optional[StoreHeader] = None,
         lru_slices: int = DEFAULT_LRU_SLICES,
+        rate_window: Optional[RateWindow] = None,
     ):
         self.result = result
         self.header = header
         self.cache = SliceCache(lru_slices)
+        self.rate_window = rate_window if rate_window is not None else RateWindow()
         self.started_at = time.time()
         self.point_queries = 0
         self.sweep_queries = 0
@@ -186,7 +240,17 @@ class OracleService:
         return s
 
     def _require_vertex(self, value: int, role: str) -> int:
-        n = self.result.graph.num_vertices if self.result.graph else 0
+        graph = self.result.graph
+        if graph is None:
+            # Without the graph there is no vertex range to check against;
+            # say that, instead of the nonsense "range 0..-1" a zero
+            # default used to produce.
+            raise InvalidParameterError(
+                f"cannot validate {role} {int(value)}: the served result "
+                "carries no graph, so vertex ids cannot be checked; "
+                "rebuild the store from a result with its graph attached"
+            )
+        n = graph.num_vertices
         v = int(value)
         if not 0 <= v < n:
             raise InvalidParameterError(
@@ -202,6 +266,7 @@ class OracleService:
         # so a cached slice can never mask a non-edge query.
         e = self.result.require_edge(edge)
         self.point_queries += 1
+        self.rate_window.note()
         return self._slice(source, e)[target]
 
     def sweep(self, source: int, edge) -> Dict[int, float]:
@@ -209,6 +274,7 @@ class OracleService:
         source = self._require_source(source)
         e = self.result.require_edge(edge)
         self.sweep_queries += 1
+        self.rate_window.note()
         return self._slice(source, e)
 
     # -- status ------------------------------------------------------------
@@ -225,7 +291,11 @@ class OracleService:
             "uptime_seconds": uptime,
             "point_queries": self.point_queries,
             "sweep_queries": self.sweep_queries,
+            # Lifetime average (kept for continuity) decays toward zero on
+            # a long-lived server; qps_recent is the honest load signal.
             "qps": total / uptime if uptime > 0 else 0.0,
+            "qps_recent": self.rate_window.rate(),
+            "qps_window_seconds": self.rate_window.window,
             "cache": {
                 "slices": len(self.cache),
                 "capacity": self.cache.capacity,
@@ -648,14 +718,18 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8351,
     lru_slices: int = DEFAULT_LRU_SLICES,
+    mmap: Optional[bool] = None,
     **server_kwargs,
 ) -> QueryServer:
     """Load ``store_dir`` and wrap it in an unstarted :class:`QueryServer`.
 
-    Extra keyword arguments (``max_connections``, ``read_timeout``, ...)
-    pass through to :class:`QueryServer`.
+    ``mmap`` selects how ``segments.bin`` is loaded (see
+    :func:`repro.store.load_store`): the default auto-maps when numpy is
+    available, so the server starts without copying the payload.  Extra
+    keyword arguments (``max_connections``, ``read_timeout``, ...) pass
+    through to :class:`QueryServer`.
     """
-    result, header = load_store(store_dir)
+    result, header = load_store(store_dir, mmap=mmap)
     service = OracleService(result, header, lru_slices=lru_slices)
     return QueryServer(service, host=host, port=port, **server_kwargs)
 
@@ -666,6 +740,7 @@ def serve_store(
     port: int = 8351,
     lru_slices: int = DEFAULT_LRU_SLICES,
     drain_timeout: float = 10.0,
+    mmap: Optional[bool] = None,
     **server_kwargs,
 ) -> int:
     """Blocking entry point used by ``repro-msrp serve``.
@@ -678,7 +753,12 @@ def serve_store(
     clips a response mid-write.
     """
     server = make_server(
-        store_dir, host=host, port=port, lru_slices=lru_slices, **server_kwargs
+        store_dir,
+        host=host,
+        port=port,
+        lru_slices=lru_slices,
+        mmap=mmap,
+        **server_kwargs,
     )
     header = server.service.header
     print(
@@ -743,10 +823,17 @@ class ServerThread:
         cls,
         store_dir: str,
         lru_slices: int = DEFAULT_LRU_SLICES,
+        mmap: Optional[bool] = None,
         **server_kwargs,
     ) -> "ServerThread":
         return cls(
-            make_server(store_dir, port=0, lru_slices=lru_slices, **server_kwargs)
+            make_server(
+                store_dir,
+                port=0,
+                lru_slices=lru_slices,
+                mmap=mmap,
+                **server_kwargs,
+            )
         )
 
     @classmethod

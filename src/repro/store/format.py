@@ -96,6 +96,7 @@ from repro.exceptions import InvalidParameterError
 from repro.faults.harness import checkpoint
 from repro.graph.graph import Graph
 from repro.graph.tree import ShortestPathTree
+from repro.npsupport import np, numpy_enabled, require_numpy
 
 #: First bytes of every manifest; anything else is not a store.
 MAGIC = "repro-msrp-store"
@@ -107,6 +108,13 @@ SEGMENTS_NAME = "segments.bin"
 
 #: Sentinel for "no parent" in the ``'i'`` parent segments.
 _NO_PARENT = -1
+
+#: Segments start on multiples of this, so ``'d'`` (float64) segments can
+#: be adopted as aligned zero-copy views straight off a memory map.
+#: Readers locate segments by their explicit manifest offsets, so the
+#: padding is invisible to them — stores written before padding existed
+#: load unchanged (numpy tolerates unaligned views; they are just slower).
+_SEGMENT_ALIGN = 8
 
 
 def graph_fingerprint(graph: Graph) -> str:
@@ -192,6 +200,10 @@ class _SegmentWriter:
         )
         self._chunks.append(raw)
         self._offset += len(raw)
+        pad = (-self._offset) % _SEGMENT_ALIGN
+        if pad:
+            self._chunks.append(b"\x00" * pad)
+            self._offset += pad
 
     def payload(self) -> bytes:
         return b"".join(self._chunks)
@@ -201,11 +213,25 @@ class _SegmentWriter:
 
 
 class _SegmentReader:
-    """Decodes segments out of a verified ``segments.bin`` payload."""
+    """Decodes segments out of a verified ``segments.bin`` payload.
 
-    def __init__(self, payload: bytes, manifest: Mapping[str, object]):
+    With ``zero_copy=True`` (the memory-mapped load path) segments come
+    back as ``np.frombuffer`` views over the payload buffer — no bytes are
+    duplicated; a cross-endian store is the one exception (the byteswap
+    materialises a native-order copy).  Otherwise segments decode into
+    fresh ``array`` objects as before.  Either return type supports
+    ``.tolist()``, which is how :func:`load_store` consumes them.
+    """
+
+    def __init__(
+        self,
+        payload,
+        manifest: Mapping[str, object],
+        zero_copy: bool = False,
+    ):
         self._payload = payload
         self._byteorder = manifest.get("byteorder", sys.byteorder)
+        self._zero_copy = zero_copy
         self._by_name: Dict[str, Dict[str, object]] = {}
         for descriptor in manifest.get("segments", []):
             self._by_name[descriptor["name"]] = descriptor
@@ -222,6 +248,8 @@ class _SegmentReader:
             )
         offset = descriptor["offset"]
         nbytes = descriptor["nbytes"]
+        if self._zero_copy:
+            return self._read_view(name, descriptor)
         raw = self._payload[offset : offset + nbytes]
         if len(raw) != nbytes:
             raise InvalidParameterError(
@@ -237,6 +265,29 @@ class _SegmentReader:
             )
         if self._byteorder != sys.byteorder:
             data.byteswap()
+        return data
+
+    def _read_view(self, name: str, descriptor: Mapping[str, object]):
+        dtype = np.dtype({"i": np.intc, "d": np.float64}[descriptor["typecode"]])
+        offset = descriptor["offset"]
+        nbytes = descriptor["nbytes"]
+        count = descriptor["count"]
+        if nbytes != count * dtype.itemsize:
+            raise InvalidParameterError(
+                f"segment {name!r} descriptor is inconsistent: {count} items "
+                f"of {dtype.itemsize} bytes cannot span {nbytes} bytes"
+            )
+        if offset + nbytes > len(self._payload):
+            raise InvalidParameterError(
+                f"segment {name!r} is truncated: manifest promises {nbytes} "
+                f"bytes at offset {offset}, payload has "
+                f"{max(0, len(self._payload) - offset)}"
+            )
+        data = np.frombuffer(self._payload, dtype=dtype, count=count, offset=offset)
+        if self._byteorder != sys.byteorder:
+            # The only copying case: foreign-endian bytes reinterpreted as
+            # native, then byte-swapped into correct native values.
+            data = data.byteswap()
         return data
 
 
@@ -444,7 +495,25 @@ def load_header(directory: str) -> StoreHeader:
     return StoreHeader.from_manifest(_read_manifest(directory))
 
 
-def load_store(directory: str) -> Tuple[ReplacementPathResult, StoreHeader]:
+def _resolve_mmap(mmap_mode: Optional[bool]) -> bool:
+    """Decide whether to memory-map ``segments.bin``.
+
+    ``None`` auto-selects: map when the numpy tier is enabled (the
+    zero-copy views need it), else fall back to the classic read.  An
+    explicit ``True`` without numpy raises loudly rather than silently
+    degrading an operator's request.
+    """
+    if mmap_mode is None:
+        return numpy_enabled()
+    if mmap_mode:
+        require_numpy("memory-mapped store load (mmap=True)")
+        return True
+    return False
+
+
+def load_store(
+    directory: str, mmap: Optional[bool] = None
+) -> Tuple[ReplacementPathResult, StoreHeader]:
     """Load a store back into a queryable result.
 
     Validates, in order: manifest magic and format version, the SHA-256 of
@@ -453,70 +522,113 @@ def load_store(directory: str) -> Tuple[ReplacementPathResult, StoreHeader]:
     raises :class:`~repro.exceptions.InvalidParameterError` naming the
     expected and actual values.  All infinities are re-canonicalised onto
     the ``math.inf`` singleton on the way in.
+
+    ``mmap`` selects how ``segments.bin`` is brought in.  The default
+    (``None``) memory-maps it when the numpy tier is enabled: the payload
+    is checksummed *in place* over the map — before anything is decoded —
+    and segments are adopted as zero-copy ``np.frombuffer`` views, so the
+    store bytes are never duplicated in memory (``serve`` starts without
+    copying ``segments.bin``).  ``False`` forces the classic
+    read-then-decode path; ``True`` requires numpy and fails loudly
+    without it.  Both paths produce identical results — the decoded
+    Python structures carry plain ints/floats either way — and the map is
+    released before returning.
     """
     manifest = _read_manifest(directory)
     header = StoreHeader.from_manifest(manifest)
 
     segments_path = os.path.join(directory, SEGMENTS_NAME)
+    use_mmap = _resolve_mmap(mmap)
+    mapped = None
     try:
         with open(segments_path, "rb") as handle:
-            payload = handle.read()
+            if use_mmap and os.fstat(handle.fileno()).st_size:
+                import mmap as mmap_module
+
+                mapped = mmap_module.mmap(
+                    handle.fileno(), 0, access=mmap_module.ACCESS_READ
+                )
+                payload = mapped
+            else:
+                # Classic path (and the empty-payload case, which mmap
+                # cannot map).
+                payload = handle.read()
     except FileNotFoundError:
         raise InvalidParameterError(
             f"store {directory!r} has a manifest but no {SEGMENTS_NAME}"
         ) from None
-    actual_sha = hashlib.sha256(payload).hexdigest()
-    if actual_sha != header.segments_sha256:
-        raise InvalidParameterError(
-            f"store segment payload is corrupted: manifest records sha256 "
-            f"{header.segments_sha256}, {SEGMENTS_NAME} hashes to {actual_sha}"
-        )
 
-    reader = _SegmentReader(payload, manifest)
-    edge_u = reader.read("graph/edge_u")
-    edge_v = reader.read("graph/edge_v")
-    graph = Graph(header.num_vertices, zip(edge_u, edge_v))
-    actual_fingerprint = graph_fingerprint(graph)
-    if actual_fingerprint != header.fingerprint:
-        raise InvalidParameterError(
-            f"store graph fingerprint mismatch: manifest records "
-            f"{header.fingerprint}, decoded edge segments fingerprint to "
-            f"{actual_fingerprint}; the header does not describe this payload"
-        )
-
-    inf = math.inf
-    tables: Dict[int, PerSourceTable] = {}
-    trees: Dict[int, ShortestPathTree] = {}
-    for s in header.sources:
-        parent_raw = reader.read(f"tree/{s}/parent")
-        dist_raw = reader.read(f"tree/{s}/dist")
-        order = reader.read(f"tree/{s}/order")
-        parent = [None if p == _NO_PARENT else p for p in parent_raw]
-        dist = [inf if d == inf else d for d in dist_raw]
-        trees[s] = ShortestPathTree(s, parent, dist, list(order))
-
-        targets = reader.read(f"table/{s}/targets")
-        counts = reader.read(f"table/{s}/counts")
-        edge_u = reader.read(f"table/{s}/edge_u")
-        edge_v = reader.read(f"table/{s}/edge_v")
-        values = reader.read(f"table/{s}/values")
-        per_source: PerSourceTable = {}
-        cursor = 0
-        for target, count in zip(targets, counts):
-            per_target: Dict[Tuple[int, int], float] = {}
-            for i in range(cursor, cursor + count):
-                value = values[i]
-                per_target[(edge_u[i], edge_v[i])] = inf if value == inf else value
-            cursor += count
-            per_source[target] = per_target
-        if cursor != len(values):
+    try:
+        # Checksum-before-map-use contract: the whole payload is verified
+        # (over the map itself — no copy) before any segment is decoded.
+        actual_sha = hashlib.sha256(payload).hexdigest()
+        if actual_sha != header.segments_sha256:
             raise InvalidParameterError(
-                f"table segments for source {s} are inconsistent: counts sum "
-                f"to {cursor}, values segment has {len(values)} entries"
+                f"store segment payload is corrupted: manifest records sha256 "
+                f"{header.segments_sha256}, {SEGMENTS_NAME} hashes to {actual_sha}"
             )
-        tables[s] = per_source
 
-    # The constructor re-canonicalises values a second time (harmless) and
-    # re-checks the source/tree consistency invariants.
-    result = ReplacementPathResult(tables, trees, graph=graph)
-    return result, header
+        reader = _SegmentReader(payload, manifest, zero_copy=mapped is not None)
+        # Decoded segments (typed arrays or ndarray views) are consumed
+        # uniformly through .tolist(): the result structures must hold
+        # plain Python ints/floats — a numpy scalar leaking into a dist
+        # list or table value would break the `is math.inf` identity
+        # callers downstream.
+        edge_u = reader.read("graph/edge_u").tolist()
+        edge_v = reader.read("graph/edge_v").tolist()
+        graph = Graph(header.num_vertices, zip(edge_u, edge_v))
+        actual_fingerprint = graph_fingerprint(graph)
+        if actual_fingerprint != header.fingerprint:
+            raise InvalidParameterError(
+                f"store graph fingerprint mismatch: manifest records "
+                f"{header.fingerprint}, decoded edge segments fingerprint to "
+                f"{actual_fingerprint}; the header does not describe this payload"
+            )
+
+        inf = math.inf
+        tables: Dict[int, PerSourceTable] = {}
+        trees: Dict[int, ShortestPathTree] = {}
+        for s in header.sources:
+            parent_raw = reader.read(f"tree/{s}/parent").tolist()
+            dist_raw = reader.read(f"tree/{s}/dist").tolist()
+            order = reader.read(f"tree/{s}/order").tolist()
+            parent = [None if p == _NO_PARENT else p for p in parent_raw]
+            dist = [inf if d == inf else d for d in dist_raw]
+            trees[s] = ShortestPathTree(s, parent, dist, order)
+
+            targets = reader.read(f"table/{s}/targets").tolist()
+            counts = reader.read(f"table/{s}/counts").tolist()
+            edge_u = reader.read(f"table/{s}/edge_u").tolist()
+            edge_v = reader.read(f"table/{s}/edge_v").tolist()
+            values = reader.read(f"table/{s}/values").tolist()
+            per_source: PerSourceTable = {}
+            cursor = 0
+            for target, count in zip(targets, counts):
+                per_target: Dict[Tuple[int, int], float] = {}
+                for i in range(cursor, cursor + count):
+                    value = values[i]
+                    per_target[(edge_u[i], edge_v[i])] = (
+                        inf if value == inf else value
+                    )
+                cursor += count
+                per_source[target] = per_target
+            if cursor != len(values):
+                raise InvalidParameterError(
+                    f"table segments for source {s} are inconsistent: counts "
+                    f"sum to {cursor}, values segment has {len(values)} entries"
+                )
+            tables[s] = per_source
+
+        # The constructor re-canonicalises values a second time (harmless)
+        # and re-checks the source/tree consistency invariants.
+        result = ReplacementPathResult(tables, trees, graph=graph)
+        return result, header
+    finally:
+        if mapped is not None:
+            # Every view has been converted via tolist(), so the map can
+            # be released now; a lingering view would raise BufferError,
+            # in which case the map closes with the last reference.
+            try:
+                mapped.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass

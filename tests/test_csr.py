@@ -61,6 +61,30 @@ class TestCSRGraphLayout:
         assert list(single.csr().offsets) == [0, 0]
         assert len(single.csr().neighbors) == 0
 
+    def test_num_arcs_is_cached_not_recomputed(self):
+        """num_arcs/num_edges are one construction-time pass, not per access.
+
+        Regression: both used to re-walk every adjacency row on every
+        read, turning hot per-query paths quadratic.  Clobbering the rows
+        after construction proves the accessors read the cache.
+        """
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        csr = g.csr()
+        assert csr.num_arcs == 6
+        assert csr.num_edges == 3
+        csr.rows = [()] * 4  # a recomputing accessor would now see 0
+        assert csr.num_arcs == 6
+        assert csr.num_edges == 3
+
+    def test_num_arcs_cache_rebuilt_on_unpickle(self):
+        import pickle
+
+        g = generators.gnp_random_graph(9, 0.4, seed=5)
+        csr = g.csr()
+        clone = pickle.loads(pickle.dumps(csr))
+        assert clone.num_arcs == csr.num_arcs
+        assert clone.num_edges == csr.num_edges
+
     def test_has_edge_matches_graph(self):
         g = generators.gnp_random_graph(12, 0.3, seed=3)
         csr = g.csr()

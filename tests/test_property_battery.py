@@ -309,19 +309,29 @@ def test_interned_dijkstra_matches_reference(name):
 
 @pytest.mark.parametrize("name", sorted(GENERATORS))
 def test_typed_array_csr_dijkstra_matches_reference(name):
-    """The compiled CSR is genuinely typed arrays, with reference distances.
+    """The compiled CSR is genuinely flat typed buffers, with reference distances.
 
-    ``compiled_csr()`` must hand back ``array('i')`` offsets/targets and
-    ``array('d')`` weights whose row structure covers every arc, and the
-    heap loop consuming them must agree with the dict-based reference.
+    ``compiled_csr()`` must hand back flat int offsets/targets and float
+    weights — ``array('i')``/``array('d')`` on the reference tier,
+    integer/float64 ndarrays on the numpy tier — whose row structure
+    covers every arc, and the heap loop consuming them must agree with
+    the dict-based reference.
     """
+    from repro.npsupport import numpy_enabled
+
     for seed in (5, 6):
         graph = GENERATORS[name](seed)
         reference, interned, _arcs = build_auxiliary_pair(graph, seed)
         offsets, targets, weights = interned.compiled_csr()
-        assert isinstance(offsets, array) and offsets.typecode == "i"
-        assert isinstance(targets, array) and targets.typecode == "i"
-        assert isinstance(weights, array) and weights.typecode == "d"
+        if numpy_enabled():
+            np = pytest.importorskip("numpy")
+            assert isinstance(offsets, np.ndarray) and offsets.dtype.kind == "i"
+            assert isinstance(targets, np.ndarray) and targets.dtype.kind == "i"
+            assert isinstance(weights, np.ndarray) and weights.dtype == np.float64
+        else:
+            assert isinstance(offsets, array) and offsets.typecode == "i"
+            assert isinstance(targets, array) and targets.typecode == "i"
+            assert isinstance(weights, array) and weights.typecode == "d"
         assert len(offsets) == interned.num_nodes + 1
         assert len(targets) == len(weights) == offsets[-1] == interned.num_edges
         assert list(offsets) == sorted(offsets), "offsets must be monotone"

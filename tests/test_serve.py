@@ -131,6 +131,29 @@ class TestValidation:
         with pytest.raises(InvalidParameterError, match="not an edge"):
             client.query_batch([(s, 0, good), (s, 0, non_edge)])
 
+    def test_graphless_result_rejected_with_clear_message(self, instance):
+        """A result without its graph names the real problem.
+
+        Regression: the vertex check used to fall back to ``n = 0`` and
+        report "outside the vertex range 0..-1" — nonsense that hid the
+        actual misconfiguration (the served result carries no graph).
+        """
+        from repro.serve import OracleService
+
+        _graph, _solver, result = instance
+        stripped = type(result)(
+            result.to_dict(),
+            {s: result.source_tree(s) for s in result.sources},
+        )
+        service = OracleService(stripped)
+        s = result.sources[0]
+        with pytest.raises(InvalidParameterError, match="carries no graph"):
+            service.point_query(s, 0, (0, 1))
+        try:
+            service.point_query(s, 0, (0, 1))
+        except InvalidParameterError as exc:
+            assert "0..-1" not in str(exc)
+
     def test_unknown_path_is_remote_error(self, served):
         _graph, _result, handle, _client = served
         with QueryClient(port=handle.port) as client:
@@ -172,6 +195,44 @@ class TestStatusAndCache:
                 second = client.status()["cache"]
                 assert second["hits"] >= first["hits"] + 5
                 assert second["misses"] == first["misses"]
+
+    def test_status_reports_both_qps_figures(self, served):
+        """/status carries the lifetime average AND the sliding window.
+
+        Regression: ``qps`` alone (total / uptime) decays toward zero on
+        a long-lived server regardless of current load; the window rate
+        is the honest signal and must be present alongside it.
+        """
+        _graph, result, handle, client = served
+        s, t, e, _ = next(result.iter_entries())
+        client.query(s, t, e)
+        status = client.status()
+        assert status["qps"] >= 0.0
+        assert status["qps_window_seconds"] >= 1
+        # The query above landed inside the current window.
+        assert status["qps_recent"] > 0.0
+
+    def test_rate_window_tracks_recent_load_only(self):
+        """Deterministic clock: bursts age out, lifetime average cannot."""
+        from repro.serve import RateWindow
+
+        now = [1000.0]
+        window = RateWindow(window=10, clock=lambda: now[0])
+        for _ in range(40):
+            window.note()
+        assert window.rate() == 4.0
+        now[0] += 5  # burst still inside the window
+        assert window.rate() == 4.0
+        now[0] += 20  # burst aged out entirely
+        assert window.rate() == 0.0
+        window.note()
+        assert window.rate() == pytest.approx(0.1)
+
+    def test_rate_window_rejects_degenerate_span(self):
+        from repro.serve import RateWindow
+
+        with pytest.raises(InvalidParameterError, match="at least 1"):
+            RateWindow(window=0)
 
     def test_raw_http_status_is_strict_json(self, served):
         _graph, _result, handle, _client = served

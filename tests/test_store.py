@@ -231,3 +231,66 @@ class TestRejection:
         # The spec in docs/ quotes these; changing them is a format bump.
         assert MAGIC == "repro-msrp-store"
         assert FORMAT_VERSION == 1
+
+
+def _numpy_available() -> bool:
+    from repro.npsupport import numpy_available
+
+    return numpy_available()
+
+
+@pytest.mark.skipif(not _numpy_available(), reason="mmap load needs numpy")
+class TestMmapLoad:
+    """The zero-copy mmap load path must be indistinguishable from the
+    classic read: same answers, same singletons, same rejections."""
+
+    def test_mmap_load_matches_classic(self, tmp_path):
+        graph = generators.random_connected_graph(13, extra_edges=9, seed=9)
+        solver, result = solve(graph, 9)
+        directory = str(tmp_path / "store")
+        write_store(directory, result, meta=solver.store_metadata())
+        mapped, header_m = load_store(directory, mmap=True)
+        classic, header_c = load_store(directory, mmap=False)
+        assert_results_identical(mapped, classic)
+        assert_results_identical(mapped, result)
+        assert header_m.fingerprint == header_c.fingerprint
+
+    def test_segment_offsets_are_aligned(self, tmp_path):
+        """The writer pads every segment to an 8-byte boundary so float64
+        views over the map are aligned (see docs/store_format.md)."""
+        graph = generators.random_connected_graph(10, extra_edges=6, seed=3)
+        _, result = solve(graph, 3)
+        write_store(str(tmp_path), result)
+        with open(os.path.join(str(tmp_path), MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        segments = manifest["segments"]
+        descriptors = (
+            segments.values() if isinstance(segments, dict) else segments
+        )
+        for descriptor in descriptors:
+            assert descriptor["offset"] % 8 == 0, descriptor
+
+    def test_corruption_detected_before_decode_under_mmap(self, tmp_path):
+        graph = generators.random_connected_graph(10, extra_edges=6, seed=4)
+        _, result = solve(graph, 4)
+        write_store(str(tmp_path), result)
+        path = os.path.join(str(tmp_path), SEGMENTS_NAME)
+        with open(path, "r+b") as handle:
+            handle.seek(4)
+            byte = handle.read(1)
+            handle.seek(4)
+            handle.write(bytes([byte[0] ^ 0x5A]))
+        with pytest.raises(InvalidParameterError, match="corrupted"):
+            load_store(str(tmp_path), mmap=True)
+
+    def test_explicit_mmap_off_never_touches_numpy_tier(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.npsupport import NUMPY_ENV_VAR
+
+        graph = generators.random_connected_graph(10, extra_edges=6, seed=5)
+        _, result = solve(graph, 5)
+        write_store(str(tmp_path), result)
+        monkeypatch.setenv(NUMPY_ENV_VAR, "0")
+        loaded, _ = load_store(str(tmp_path))  # auto resolves to classic
+        assert_results_identical(loaded, result)
