@@ -58,12 +58,15 @@ def run_key(
     workers: int = 0,
     pool_reuse: bool = True,
     numpy_tier: Optional[bool] = None,
+    executor: Optional[str] = None,
 ) -> str:
     """Stable row key; serial and reuse-on rows keep historical keys.
 
     ``numpy_tier=None`` (whatever the environment selects) adds no
     suffix, so pre-existing baselines keep diffing; explicit tier rows
-    get ``,numpy=on`` / ``,numpy=off``.
+    get ``,numpy=on`` / ``,numpy=off``.  Likewise ``executor=None``
+    (automatic transport selection) adds no suffix, while a forced
+    transport gets ``,executor=serial`` / ``,executor=process``.
     """
     key = f"n={n},sigma={sigma},strategy={strategy}"
     if workers:
@@ -72,6 +75,8 @@ def run_key(
             key += ",pool_reuse=off"
     if numpy_tier is not None:
         key += f",numpy={'on' if numpy_tier else 'off'}"
+    if executor is not None:
+        key += f",executor={executor}"
     return key
 
 
@@ -136,12 +141,16 @@ def run_one(
     workers: int = 0,
     pool_reuse: bool = True,
     numpy_tier: Optional[bool] = None,
+    executor: Optional[str] = None,
 ) -> Dict:
     """Run one configuration ``repeat`` times and keep the best wall time.
 
     ``numpy_tier`` pins the kernel tier for the run (sharded workers
     inherit it through the environment); ``None`` leaves the ambient
     environment untouched, which preserves historical row semantics.
+    ``executor`` forces the sharded-phase transport (``None`` keeps the
+    solver's automatic selection); the chosen transport and its crash /
+    degradation counters land in the row as ``executor_stats``.
     """
     graph = sparse_workload(n, seed=n)
     rng = random.Random(n)
@@ -153,7 +162,10 @@ def run_one(
                 graph,
                 sources,
                 params=AlgorithmParams(
-                    seed=n, workers=workers, pool_reuse=pool_reuse
+                    seed=n,
+                    workers=workers,
+                    pool_reuse=pool_reuse,
+                    executor=executor,
                 ),
                 landmark_strategy=strategy,
             )
@@ -163,7 +175,8 @@ def run_one(
             if best is None or wall < best["wall_seconds"]:
                 best = {
                     "key": run_key(
-                        n, sigma, strategy, workers, pool_reuse, numpy_tier
+                        n, sigma, strategy, workers, pool_reuse, numpy_tier,
+                        executor,
                     ),
                     "n": n,
                     "sigma": sigma,
@@ -171,6 +184,8 @@ def run_one(
                     "workers": workers,
                     "pool_reuse": bool(pool_reuse),
                     "numpy": numpy_tier,
+                    "executor": executor,
+                    "executor_stats": dict(solver.executor_stats),
                     "sources": sources,
                     "num_edges": graph.num_edges,
                     "wall_seconds": wall,
@@ -190,6 +205,7 @@ def run_suite(
     workers_list: Optional[List[int]] = None,
     pool_reuse_modes: Optional[List[bool]] = None,
     numpy_modes: Optional[List[Optional[bool]]] = None,
+    executor: Optional[str] = None,
     verbose: bool = True,
 ) -> List[Dict]:
     """One row per (size, worker count, pool-reuse mode, kernel tier).
@@ -222,6 +238,7 @@ def run_suite(
                         workers=workers,
                         pool_reuse=pool_reuse,
                         numpy_tier=numpy_tier,
+                        executor=executor,
                     )
                     runs.append(run)
                     if verbose:
@@ -275,10 +292,12 @@ def attach_baseline(payload: Dict, baseline_path: str) -> None:
     for run in payload["runs"]:
         old = baseline_runs.get(run["key"])
         if old is None:
-            # Tier-pinned rows (",numpy=on/off") fall back to the
-            # baseline's tier-less key, so a pre-tier baseline still
-            # yields speedups for the new kernel-tier rows.
-            old = baseline_runs.get(run["key"].split(",numpy=")[0])
+            # Tier-pinned (",numpy=on/off") and transport-forced
+            # (",executor=...") rows fall back to the baseline's
+            # suffix-less key, so older baselines still yield speedups
+            # for the new row variants.
+            base_key = run["key"].split(",numpy=")[0].split(",executor=")[0]
+            old = baseline_runs.get(base_key)
         if old is not None and run["wall_seconds"] > 0:
             speedups[run["key"]] = old["wall_seconds"] / run["wall_seconds"]
     payload["baseline"] = {
@@ -348,6 +367,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--executor",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        metavar="KIND",
+        help=(
+            "sharded-phase transport for every row: 'auto' (default) keeps "
+            "the solver's automatic selection and adds no key suffix, "
+            "'serial'/'process' force one Executor kind (suffix "
+            "',executor=...'); the transport and its crash/degradation "
+            "counters are recorded per row as executor_stats"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         metavar="PATH",
         help="previous JSON report to embed and compute speedups against",
@@ -376,6 +408,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.npsupport import require_numpy
 
         require_numpy(f"bench_msrp_e2e --numpy {args.numpy}")
+    executor = None if args.executor == "auto" else args.executor
     runs = run_suite(
         sizes,
         args.sigma,
@@ -384,6 +417,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers_list,
         pool_reuse_modes,
         numpy_modes,
+        executor,
     )
     check_worker_fingerprints(runs)
 
@@ -401,6 +435,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "workers": workers_list,
             "pool_reuse": args.pool_reuse,
             "numpy": args.numpy,
+            "executor": args.executor,
         },
         "runs": runs,
     }

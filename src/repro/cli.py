@@ -86,6 +86,29 @@ def _build_parser() -> argparse.ArgumentParser:
             "comparisons — output is identical either way)"
         ),
     )
+    common.add_argument(
+        "--executor",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        help=(
+            "transport for the sharded phases: 'auto' (default) picks the "
+            "process executor when --workers > 1, 'serial' forces the "
+            "in-process executor, 'process' forces the multiprocessing "
+            "one — output is byte-identical across all of them"
+        ),
+    )
+    common.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal every completed chunk of the solve into DIR; "
+            "re-running the same command after a crash resumes from the "
+            "journal and re-executes only unjournaled work, with output "
+            "identical to an uninterrupted run (requires --seed, which "
+            "the CLI always sets)"
+        ),
+    )
 
     ssrp = sub.add_parser("ssrp", parents=[common], help="single source replacement paths")
     ssrp.add_argument("--source", type=int, default=0)
@@ -191,6 +214,8 @@ def _make_solver(
         verify=args.verify,
         workers=args.workers,
         pool_reuse=not args.no_pool_reuse,
+        executor=None if args.executor == "auto" else args.executor,
+        checkpoint=args.checkpoint,
     )
     return MSRPSolver(graph, sources, params=params, landmark_strategy=strategy)
 
@@ -202,6 +227,20 @@ def _print_solve_summary(solver: MSRPSolver, result, verified: bool) -> None:
     for phase, seconds in solver.phase_seconds.items():
         print(f"phase {phase:28s} {seconds * 1000:10.1f} ms")
     print(f"output entries (s, t, e): {result.output_size}")
+    stats = solver.executor_stats
+    if stats.get("executor") is not None:
+        line = f"executor: {stats['executor']}"
+        if stats.get("crash_recoveries"):
+            line += f", {stats['crash_recoveries']} crash recovery(ies)"
+        if stats.get("serial_degradations"):
+            line += f", {stats['serial_degradations']} serial degradation(s)"
+        journal = stats.get("journal")
+        if journal is not None:
+            line += (
+                f"; journal: {stats['keys_reused_from_journal']} key(s) "
+                f"resumed, {journal['records_written']} record(s) written"
+            )
+        print(line)
     if verified:
         print("verification against brute force: PASSED")
 

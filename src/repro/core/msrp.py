@@ -41,10 +41,19 @@ from repro.exceptions import InternalInvariantError, InvalidParameterError
 from repro.graph.csr import bfs_many
 from repro.graph.graph import Graph
 from repro.graph.tree import ShortestPathTree
-from repro.parallel import WorkerPool, run_sharded
+from repro.parallel import CheckpointJournal, Executor, make_executor, run_sharded
 
 #: Valid values of the ``landmark_strategy`` argument.
 LANDMARK_STRATEGIES = ("direct", "auxiliary")
+
+#: ``executor_stats`` of a solve that never built an executor (serial
+#: in-process path): the same shape as :meth:`Executor.stats`, all zero.
+_NO_EXECUTOR_STATS: Mapping[str, object] = {
+    "executor": None,
+    "crash_recoveries": 0,
+    "serial_degradations": 0,
+    "keys_reused_from_journal": 0,
+}
 
 
 class MSRPSolver:
@@ -97,37 +106,96 @@ class MSRPSolver:
         self.near_small_tables: Dict[int, NearSmallTables] = {}
         #: wall-clock seconds per phase, filled in as the solver runs
         self.phase_seconds: Dict[str, float] = {}
-        #: the WorkerPool spanning the current solve, while one is open
-        self._pool: Optional[WorkerPool] = None
+        #: the Executor spanning the current solve, while one is open
+        self._pool: Optional[Executor] = None
+        #: counters of the most recent executor scope (crash recoveries,
+        #: serial degradations, journal reuse); zeros until a solve ran.
+        self.executor_stats: Dict[str, object] = dict(_NO_EXECUTOR_STATS)
 
     # -- pipeline --------------------------------------------------------------
 
+    def _make_executor(self) -> Optional[Executor]:
+        """Build the executor for one solve scope per ``params``.
+
+        ``params.executor`` picks the transport explicitly; ``None`` keeps
+        the historical automatic behaviour — a process executor when
+        ``workers > 1`` and ``pool_reuse`` is on, one-shot pools per phase
+        when ``pool_reuse`` is off, and the plain in-process path (no
+        executor object at all) for serial solves.  A checkpointed solve
+        always gets an executor (the journal rides on it), serial when
+        ``workers <= 1``.
+        """
+        params = self.params
+        kind = params.executor
+        if kind is None:
+            if params.checkpoint is not None:
+                kind = "process" if params.workers > 1 else "serial"
+            elif params.workers > 1 and params.pool_reuse:
+                kind = "process"
+            else:
+                return None
+        executor = make_executor(kind, workers=params.workers)
+        if params.checkpoint is not None:
+            journal = CheckpointJournal.open(
+                params.checkpoint, identity=self._journal_identity()
+            )
+            executor.attach_journal(journal)
+        return executor
+
+    def _journal_identity(self) -> Dict[str, object]:
+        """The workload identity a checkpoint journal is bound to.
+
+        Covers everything that determines the solve's output: the graph
+        (by fingerprint), the result-affecting parameters (by hash — the
+        scheduling knobs ``workers``/``pool_reuse``/``executor``/
+        ``checkpoint`` and the post-hoc ``verify`` flag are excluded, so a
+        journal written under one worker count resumes under another), the
+        landmark strategy and the source set.  A journal whose identity
+        differs refuses to open rather than splice mismatched results.
+        """
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        from repro.store.format import graph_fingerprint
+
+        params = asdict(self.params)
+        for knob in ("workers", "pool_reuse", "executor", "checkpoint", "verify"):
+            params.pop(knob, None)
+        params_blob = json.dumps(params, sort_keys=True).encode("utf-8")
+        return {
+            "graph_fingerprint": graph_fingerprint(self.graph),
+            "params_sha256": hashlib.sha256(params_blob).hexdigest(),
+            "strategy": self.landmark_strategy,
+            "sources": list(self.sources),
+        }
+
     @contextmanager
-    def _pool_scope(self) -> Iterator[Optional[WorkerPool]]:
-        """One :class:`~repro.parallel.WorkerPool` spanning the whole solve.
+    def _pool_scope(self) -> Iterator[Optional[Executor]]:
+        """One :class:`~repro.parallel.Executor` spanning the whole solve.
 
         Every sharded phase of the pipeline (BFS fan-out, Section 7.1 and
         8.1-8.3 builds, assembly sweep, brute-force verification) runs on
-        the same pool, each new phase context broadcast into the already-
-        running workers — one pool start-up per solve instead of one per
-        phase.  Yields ``None`` when sharding is off (``workers <= 1``) or
-        pool reuse is disabled (``params.pool_reuse=False``, the historical
-        one-pool-per-phase scheduling); re-entrant, so ``solve()`` calling
-        ``preprocess()`` shares the outer scope's pool.
+        the same executor, each new phase context broadcast into the
+        already-running workers — one transport start-up per solve instead
+        of one per phase.  Yields ``None`` when no executor is called for
+        (see :meth:`_make_executor`); re-entrant, so ``solve()`` calling
+        ``preprocess()`` shares the outer scope's executor.  On exit the
+        executor's counters are preserved in :attr:`executor_stats`.
         """
-        if (
-            self._pool is not None
-            or self.params.workers <= 1
-            or not self.params.pool_reuse
-        ):
+        if self._pool is not None:
             yield self._pool
             return
-        pool = WorkerPool(self.params.workers)
-        self._pool = pool
+        executor = self._make_executor()
+        if executor is None:
+            yield None
+            return
+        self._pool = executor
         try:
-            with pool:
-                yield pool
+            with executor:
+                yield executor
         finally:
+            self.executor_stats = executor.stats()
             self._pool = None
 
     def preprocess(self) -> "MSRPSolver":
@@ -210,9 +278,11 @@ class MSRPSolver:
     def solve(self) -> ReplacementPathResult:
         """Run the full pipeline and return the replacement-path tables.
 
-        One :class:`~repro.parallel.WorkerPool` spans the whole call —
+        One :class:`~repro.parallel.Executor` spans the whole call —
         preprocessing, assembly and (with ``params.verify``) the sharded
-        brute-force cross-check all reuse the same worker processes.
+        brute-force cross-check all reuse the same worker processes.  With
+        ``params.checkpoint`` set, every completed chunk is journaled and
+        a re-run of a killed solve resumes from the journal.
         """
         with self._pool_scope() as pool:
             if self.landmark_tables is None:
@@ -262,6 +332,7 @@ class MSRPSolver:
             "params": asdict(self.params),
             "sources": list(self.sources),
             "phase_seconds": dict(self.phase_seconds),
+            "executor_stats": dict(self.executor_stats),
         }
 
     def _verify(self, result: ReplacementPathResult) -> None:

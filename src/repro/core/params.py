@@ -71,6 +71,24 @@ class AlgorithmParams:
         scheduling (one pool start-up per sharded phase), which exists for
         the benchmark harness' overhead comparison.  Irrelevant when
         ``workers <= 1``; the output is identical either way.
+    executor:
+        Transport for the sharded phases (:mod:`repro.parallel.executor`).
+        ``None`` (default) selects automatically — the process transport
+        when ``workers > 1``, the plain in-process path otherwise;
+        ``"serial"`` forces the in-process
+        :class:`~repro.parallel.SerialExecutor` regardless of ``workers``;
+        ``"process"`` forces a
+        :class:`~repro.parallel.LocalProcessExecutor` (which itself runs
+        serially when ``workers <= 1``).  Output is byte-identical across
+        every choice.
+    checkpoint:
+        Directory of a :class:`~repro.parallel.CheckpointJournal`.  When
+        set, every completed chunk of every sharded phase is durably
+        journaled as the solve runs, and a re-run with the same graph,
+        parameters and checkpoint directory resumes by re-executing only
+        unjournaled work — fingerprint-identical to an uninterrupted run.
+        Requires a fixed ``seed`` (resuming an unseeded solve would splice
+        results from divergent random streams).
     """
 
     sampling_constant: float = 4.0
@@ -81,6 +99,8 @@ class AlgorithmParams:
     verify: bool = False
     workers: int = 0
     pool_reuse: bool = True
+    executor: Optional[str] = None
+    checkpoint: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.sampling_constant <= 0:
@@ -91,6 +111,22 @@ class AlgorithmParams:
             raise InvalidParameterError("interval_constant must be at least 1")
         if self.workers < 0:
             raise InvalidParameterError("workers must be non-negative")
+        if self.executor is not None:
+            # Imported here: repro.parallel pulls in the fault harness and
+            # journal machinery, which params-only consumers never need.
+            from repro.parallel.executor import EXECUTOR_KINDS
+
+            if self.executor not in EXECUTOR_KINDS:
+                raise InvalidParameterError(
+                    f"executor must be one of {EXECUTOR_KINDS} (or None for "
+                    f"automatic selection), got {self.executor!r}"
+                )
+        if self.checkpoint is not None and self.seed is None:
+            raise InvalidParameterError(
+                "checkpointed solves require a fixed seed: a resumed run "
+                "must replay the exact random draws of the interrupted one, "
+                "or journaled and recomputed results would mix streams"
+            )
 
 
 class ProblemScale:

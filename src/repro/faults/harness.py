@@ -13,10 +13,11 @@ Design
 A :class:`FaultPlan` is a list of :class:`Fault` records serialised to a
 JSON file; the ``REPRO_FAULT_PLAN`` environment variable points running
 code at it.  Production code calls tiny hook functions at its fault
-points (:func:`chunk_checkpoint` in the pool worker dispatch,
-:func:`checkpoint` in the store writer, :func:`connection_action` in the
-server's accept path); with no plan installed every hook is a single dict
-lookup, so the hooks are safe to leave in hot-ish paths.
+points (:func:`chunk_checkpoint` in the executors' chunk dispatch,
+:func:`checkpoint` in the store writer and the checkpoint journal,
+:func:`connection_action` in the server's accept path); with no plan
+installed every hook is a single dict lookup, so the hooks are safe to
+leave in hot-ish paths.
 
 Faults are **one-shot by default** and claimed atomically across
 processes: each firing creates a marker file next to the plan with
@@ -45,7 +46,8 @@ Fault kinds
     task failure, which the pool must propagate (not retry).
 ``crash_at``
     Raise :class:`InjectedFault` at the named :func:`checkpoint` — used to
-    interrupt ``write_store`` between its staging steps.
+    interrupt ``write_store`` between its staging steps and checkpointed
+    solves mid-journal (``journal.record``, ``journal.phase.<task>``).
 ``drop_connection``
     Close the ``connection_index``-th accepted server connection without
     a response (client sees an abrupt reset).
@@ -257,10 +259,13 @@ def _execute_chunk_fault(fault: Fault) -> None:
 
 
 def chunk_checkpoint(chunk_index: int) -> None:
-    """Pool-worker hook: fire any chunk fault aimed at ``chunk_index``.
+    """Executor hook: fire any chunk fault aimed at ``chunk_index``.
 
-    Called by the worker-side chunk dispatch just before the task body
-    runs; a no-op (one env lookup) when no plan is installed.
+    Called by the chunk dispatch of every transport just before the task
+    body runs — the pool's worker-side dispatch and ``SerialExecutor``'s
+    in-process chunk loop alike, so the chaos battery exercises any
+    :class:`~repro.parallel.Executor` through one interface.  A no-op
+    (one env lookup) when no plan is installed.
     """
     current = _current_plan()
     if current is None:
@@ -277,8 +282,11 @@ def checkpoint(name: str) -> None:
 
     ``write_store`` calls this between its staging steps
     (``store.write.segments``, ``store.write.staged``,
-    ``store.write.swap``); a matching ``crash_at`` fault raises
-    :class:`InjectedFault`, modelling the process dying at that point.
+    ``store.write.swap``) and the checkpoint journal after each durable
+    step (``journal.record`` after every record append,
+    ``journal.phase.<task>`` after every phase that journaled fresh
+    work); a matching ``crash_at`` fault raises :class:`InjectedFault`,
+    modelling the process dying at that point.
     """
     current = _current_plan()
     if current is None:

@@ -516,7 +516,7 @@ def bfs_many(
     once per worker and each worker runs a contiguous chunk of roots.  The
     returned mapping is identical to the serial one — same trees, same
     first-seen key order (duplicates collapse onto one dict entry in both
-    paths).  Passing an open :class:`~repro.parallel.WorkerPool` via
+    paths).  Passing an open :class:`~repro.parallel.Executor` via
     ``pool`` reuses its running workers (the context is broadcast into
     them) instead of opening a pool for just this fan-out.
 

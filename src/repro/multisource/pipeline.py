@@ -50,7 +50,7 @@ from repro.multisource.tables import (
     compute_small_paths_through_centers,
     compute_source_to_center_tables,
 )
-from repro.parallel import WorkerPool, child_rng, run_sharded
+from repro.parallel import Executor, child_rng, run_sharded
 
 
 def compute_auxiliary_tables(
@@ -64,7 +64,7 @@ def compute_auxiliary_tables(
     centers: Optional[CenterHierarchy] = None,
     phase_seconds: Optional[Dict[str, float]] = None,
     workers: int = 0,
-    pool: Optional[WorkerPool] = None,
+    pool: Optional[Executor] = None,
 ) -> SourceLandmarkTables:
     """Compute ``d(s, r, e)`` for all sources and landmarks via Section 8.
 
@@ -80,7 +80,7 @@ def compute_auxiliary_tables(
     ``workers`` shards the per-root/per-center/per-source phases across a
     process pool (:mod:`repro.parallel`); the returned tables are
     byte-identical to the serial run at any worker count.  Passing an open
-    :class:`~repro.parallel.WorkerPool` via ``pool`` makes every sharded
+    :class:`~repro.parallel.Executor` via ``pool`` makes every sharded
     phase reuse its running workers (each phase context is broadcast into
     them), so the whole Section 8 pipeline pays at most one pool start-up;
     without it each phase opens its own one-shot pool, which is the

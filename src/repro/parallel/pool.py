@@ -1,849 +1,69 @@
-"""Chunked process-pool scheduling with a deterministic merge.
+"""Backwards-compatible facade over :mod:`repro.parallel.executor`.
 
-The scheduling model is deliberately minimal, because the pipeline's
-parallelism is embarrassing: a phase is a pure function applied
-independently to every key of a list, with a large read-only *context*
-(graph, BFS trees, Section 8 tables) shared by all keys.
+The chunked process-pool scheduler historically lived here as
+``WorkerPool`` + ``run_sharded``.  The machinery now resides in
+:mod:`repro.parallel.executor` behind the transport-agnostic
+:class:`~repro.parallel.executor.Executor` contract; this module remains
+so existing imports (``from repro.parallel.pool import WorkerPool``) and
+pickled task payloads referencing its helpers keep working.
 
-* The context ships **once per worker** through the pool initializer — or,
-  when a :class:`WorkerPool` is reused across phases, through a broadcast
-  "set context" sweep keyed by a generation counter.  Under the ``fork``
-  start method the initializer transfer is free (children inherit the
-  parent's memory); under ``spawn`` it is pickled exactly once per worker,
-  which is why the substrates define compact ``__getstate__`` forms (typed
-  arrays, no lazy caches).
-* The key list splits into contiguous chunks — by default one chunk per
-  worker — so the per-dispatch overhead (one pickled list of ints, one
-  pickled result dict) is amortised over the whole shard.  Duplicate keys
-  are computed once: the distinct keys (first-seen order) are what gets
-  chunked, and the merge fans the shared results back out over the
-  original key list.
-* Each task returns a ``{key: value}`` dict for its chunk; the merge
-  re-keys the union **in input-key order** and verifies completeness, so
-  the merged mapping is byte-identical to what the serial loop would have
-  produced regardless of worker count, chunking or completion order.
-
-:func:`run_sharded` degrades to an in-process call of the *same* task
-function when sharding cannot help (``workers <= 1``, a single key, or
-already inside a pool worker), so serial and parallel runs execute
-identical code on identical inputs — the determinism guarantee is
-structural, not tested into existence.
-
-**Pool lifecycle.**  Opening a :mod:`multiprocessing` pool costs a process
-start-up per worker, and a solve runs five-plus sharded phases; paying
-that cost per phase is measurable overhead (the committed
-``BENCH_msrp.json`` workers rows).  :class:`WorkerPool` owns one pool for
-the duration of a solve and re-installs each phase's context into the
-already-running workers, so the start-up amortises across the whole
-pipeline.  Call sites accept an optional ``pool`` and fall back to a
-one-shot pool (or the serial path) when none is given.
-
-**Crash safety.**  A raw ``multiprocessing.Pool`` turns a SIGKILLed
-worker into a silent hang: the killed worker's chunk never completes and
-``map`` waits forever.  :class:`WorkerPool` instead dispatches chunks
-individually and polls them against a liveness check of the pool's worker
-processes (plus an optional per-chunk timeout).  A detected crash — dead
-worker, broken result pipe, or timeout — tears the damaged pool down,
-respawns a fresh one with the current phase context, and re-executes
-*only the unfinished chunks*; completed chunks keep their results.  Task
-functions are pure functions of ``(context, keys)``, so a retried chunk
-is byte-identical to what its first attempt would have produced and the
-merge contract is unaffected.  Retries are bounded
-(``max_crash_retries``); past the bound the pool degrades to the
-identical in-process serial path by default, or raises a typed
-:class:`~repro.exceptions.WorkerCrashError` when degradation is disabled.
-Deterministic exceptions raised *by* a task are never retried — they
-propagate unchanged, exactly as the serial path would raise them.
+``WorkerPool`` is an alias of
+:class:`~repro.parallel.executor.LocalProcessExecutor` — same
+constructor, same lifecycle, same crash-recovery semantics.  Module
+attributes not re-exported explicitly (including live mutable state like
+``POOLS_OPENED`` and the worker-side ``_TLS``/``_STORE``) are forwarded
+dynamically to the executor module, so instrumentation that reads them
+through this module observes the current values, not an import-time
+snapshot.
 """
 
 from __future__ import annotations
 
-import math
-import multiprocessing
-import os
-import pickle
-import threading
-import time
-from multiprocessing.pool import MaybeEncodingError
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
-
-from repro.exceptions import (
-    InternalInvariantError,
-    InvalidParameterError,
-    WorkerCrashError,
-)
-from repro.faults.harness import chunk_checkpoint
-
-#: Environment variable overriding the default start method (fork/spawn).
-START_METHOD_ENV = "REPRO_MP_START_METHOD"
-
-#: The shared context installed by the pool initializer / context broadcast
-#: (or by the in-process serial fallback).  Thread-local rather than a
-#: module global: pool workers are single-threaded so the initializer and
-#: the tasks share one slot, while concurrent serial solves in threads of
-#: one process (the graph layer advertises thread-safety) each see their
-#: own context.
-_TLS = threading.local()
-
-#: Barrier shared by the workers of the owning pool (installed by the pool
-#: initializer).  A context broadcast maps one "set context" item per
-#: worker and has every worker wait here, which is what guarantees each
-#: worker takes exactly one item — no worker can grab a second broadcast
-#: item while its siblings still owe their first.
-_WORKER_BARRIER: Optional[Any] = None
-
-#: Worker-side component store: token -> shipped context component.  Phase
-#: contexts are dicts whose heavy components (the graph, tree maps, Section
-#: 8 tables) recur across phases; a broadcast ships each component **once**
-#: and later phases reference it by token, so re-installing a context costs
-#: one transfer of whatever is genuinely new, not of the whole context.
-_STORE: Dict[int, Any] = {}
-
-#: Number of multiprocessing pools this module has opened in this process.
-#: Test instrumentation for the "one pool per solve" contract; never reset.
-POOLS_OPENED = 0
-
-#: Parent-side poll interval while waiting on dispatched chunks (seconds).
-_POLL_INTERVAL = 0.01
-
-#: Backstop deadline for a context broadcast (seconds).  Broadcasts are a
-#: few pickles plus a barrier; hitting this means the pool is wedged.
-BROADCAST_TIMEOUT = 300.0
-
-#: Default bound on crash-respawn-retry cycles per sharded phase.
-DEFAULT_MAX_CRASH_RETRIES = 2
-
-#: How long a ``Pool.terminate()`` may take before the pool is abandoned
-#: by force.  A worker SIGKILLed while *idle* dies holding the shared
-#: task-queue reader lock (``SimpleQueue.get`` holds it across the
-#: blocking read), and ``Pool._terminate_pool`` then wedges forever
-#: trying to acquire it — so a clean terminate gets a bounded budget and
-#: the fallback SIGKILLs the workers and walks away.
-POOL_TERMINATE_TIMEOUT = 5.0
-
-#: Transport-layer exceptions from a chunk handle that mean the worker
-#: (or its result pipe) died rather than the task failing deterministically.
-_CRASH_EXCEPTIONS = (
-    BrokenPipeError,
-    ConnectionResetError,
-    EOFError,
-    MaybeEncodingError,
+from repro.parallel import executor as _executor
+from repro.parallel.executor import (
+    BROADCAST_TIMEOUT,
+    DEFAULT_MAX_CRASH_RETRIES,
+    POOL_TERMINATE_TIMEOUT,
+    START_METHOD_ENV,
+    Executor,
+    LocalProcessExecutor,
+    SerialExecutor,
+    chunk_keys,
+    default_start_method,
+    make_executor,
+    resolve_workers,
+    run_sharded,
+    worker_context,
 )
 
-
-class _PoolCrash(Exception):
-    """Internal: a pool-level failure (dead worker, timeout, broken pipe).
-
-    Caught by the retry loop in :meth:`WorkerPool._run_pooled`; never
-    escapes this module — callers see :class:`WorkerCrashError` instead.
-    """
-
-
-def _apply_context(generation: int, new: Any, layout: Optional[Dict]) -> None:
-    """Rebuild and install a phase context from (new components, layout).
-
-    ``layout`` maps context keys to store tokens; ``new`` carries the
-    components this worker has not seen yet.  A ``None`` layout means the
-    context was not a dict and ``new`` is the whole (uncached) context.
-    """
-    if layout is None:
-        context = new
-    else:
-        _STORE.update(new)
-        context = {key: _STORE[token] for key, token in layout.items()}
-    _TLS.generation = generation
-    _TLS.context = context
-
-
-def _install_pool_worker(
-    barrier: Any, generation: int, new: Any, layout: Optional[Dict]
-) -> None:
-    """Pool initializer: barrier + the first phase's context and generation."""
-    global _WORKER_BARRIER, _STORE
-    _WORKER_BARRIER = barrier
-    _STORE = {}
-    _apply_context(generation, new, layout)
-
-
-def _set_context_task(blob: bytes) -> int:
-    """Broadcast body: install a new phase context into this worker.
-
-    The payload arrives pre-pickled (the parent serialises the new
-    components once per phase, not once per worker); the barrier wait makes
-    the ``pool.map`` over ``pool_size`` copies deliver exactly one copy to
-    every worker, and the echoed generation lets the parent verify the
-    sweep reached the whole pool.
-    """
-    generation, new, layout = pickle.loads(blob)
-    _apply_context(generation, new, layout)
-    _WORKER_BARRIER.wait()
-    return generation
-
-
-def _dispatch_chunk(payload: Any) -> Dict[Hashable, Any]:
-    """Run one chunk of a sharded phase, refusing stale worker state.
-
-    The generation check is what makes context reinstallation safe: a
-    worker that somehow missed a broadcast (or a chunk queued against an
-    older phase) fails loudly instead of silently computing the new phase's
-    keys against the previous phase's context.
-
-    The fault checkpoint lets the chaos harness kill/hang this worker as
-    it picks up a specific chunk; with no plan installed it is one
-    environment lookup.
-    """
-    task, generation, chunk_index, chunk = payload
-    current = getattr(_TLS, "generation", None)
-    if current != generation:
-        raise InternalInvariantError(
-            f"pool worker holds context generation {current!r} but was "
-            f"dispatched a chunk of generation {generation!r}"
-        )
-    chunk_checkpoint(chunk_index)
-    return task(chunk)
-
-
-def worker_context() -> Any:
-    """The context of the sharded phase currently executing.
-
-    Task functions call this instead of receiving the (large) context per
-    task; it is populated once per worker per phase (pool initializer or
-    context broadcast), and transiently in-process for serial fallback runs.
-    """
-    context = getattr(_TLS, "context", None)
-    if context is None:
-        raise InternalInvariantError(
-            "worker_context() called outside a sharded phase"
-        )
-    return context
-
-
-def default_start_method() -> str:
-    """The start method ``run_sharded`` uses when none is passed.
-
-    ``fork`` when the platform offers it (context transfer is free — the
-    children inherit the parent's memory), otherwise ``spawn``.  The
-    ``REPRO_MP_START_METHOD`` environment variable overrides the choice,
-    which is how the test battery pins the spawn path on fork platforms;
-    its value is validated against the platform's start methods so a typo
-    fails with a clear error instead of surfacing as an opaque
-    ``ValueError`` inside ``multiprocessing.get_context``.
-    """
-    methods = multiprocessing.get_all_start_methods()
-    env = os.environ.get(START_METHOD_ENV)
-    if env:
-        if env not in methods:
-            raise InvalidParameterError(
-                f"{START_METHOD_ENV}={env!r} is not a multiprocessing start "
-                f"method of this platform; choose one of {methods}"
-            )
-        return env
-    return "fork" if "fork" in methods else "spawn"
-
-
-def resolve_workers(workers: int, num_keys: int) -> int:
-    """Effective pool size for ``workers`` over ``num_keys`` keys.
-
-    ``0`` and ``1`` mean serial; pool workers themselves always resolve to
-    serial (nested pools are both illegal for daemonic processes and
-    pointless).  The count is clamped to the number of keys but **not** to
-    ``os.cpu_count()``: oversubscription only costs time, never changes
-    results, and the fingerprint-equality tests rely on being able to ask
-    for 4 workers on any machine.
-    """
-    if workers < 0:
-        raise InvalidParameterError(f"workers must be non-negative, got {workers}")
-    if workers <= 1 or num_keys <= 1:
-        return 0
-    if multiprocessing.current_process().daemon:
-        return 0
-    return min(workers, num_keys)
-
-
-def chunk_keys(keys: Sequence[Hashable], num_chunks: int) -> List[List[Hashable]]:
-    """Split ``keys`` into ``num_chunks`` contiguous, size-balanced chunks.
-
-    Sizes differ by at most one, earlier chunks taking the extra element;
-    concatenating the chunks reproduces ``keys`` exactly (the merge relies
-    on nothing but this, and it makes the split easy to reason about).
-    """
-    if num_chunks <= 0:
-        raise InvalidParameterError(f"num_chunks must be positive, got {num_chunks}")
-    total = len(keys)
-    base, extra = divmod(total, num_chunks)
-    chunks: List[List[Hashable]] = []
-    start = 0
-    for i in range(num_chunks):
-        size = base + (1 if i < extra else 0)
-        if size == 0:
-            break
-        chunks.append(list(keys[start : start + size]))
-        start += size
-    return chunks
-
-
-def _check_chunks_per_worker(chunks_per_worker: int) -> None:
-    if chunks_per_worker < 1:
-        raise InvalidParameterError(
-            f"chunks_per_worker must be at least 1, got {chunks_per_worker}"
-        )
-
-
-def _distinct_keys(key_list: List[Hashable]) -> List[Hashable]:
-    """The distinct keys of ``key_list`` in first-seen order."""
-    seen = set()
-    distinct: List[Hashable] = []
-    for key in key_list:
-        if key not in seen:
-            seen.add(key)
-            distinct.append(key)
-    return distinct
-
-
-def _fan_out(
-    merged: Dict[Hashable, Any],
-    distinct: List[Hashable],
-    key_list: List[Hashable],
-    task: Callable,
-) -> Dict[Hashable, Any]:
-    """Completeness-check ``merged`` and re-key it over the input keys.
-
-    Duplicate input keys share the single computed result; the returned
-    dict iterates in input-key (equivalently first-seen) order, exactly
-    like the serial loop's would, so downstream fingerprints cannot drift.
-    """
-    missing = [key for key in distinct if key not in merged]
-    if missing or len(merged) != len(distinct):
-        raise InternalInvariantError(
-            f"sharded task {getattr(task, '__name__', task)!r} returned "
-            f"{len(merged)} results for {len(distinct)} distinct keys "
-            f"(missing: {missing[:5]})"
-        )
-    return {key: merged[key] for key in key_list}
-
-
-class WorkerPool:
-    """One multiprocessing pool reused across the phases of a solve.
-
-    Usage rules:
-
-    * Construct with the requested ``workers`` count and use as a context
-      manager (or call :meth:`close` explicitly) — the underlying pool is
-      opened **lazily** on the first phase that actually shards, so a
-      ``workers <= 1`` pool never starts a process and every phase runs the
-      in-process serial fallback.
-    * Hand the instance to :func:`run_sharded` (or call :meth:`run`) for
-      every phase of the solve.  Each new phase context is re-installed
-      into the already-running workers by a broadcast "set context" task
-      keyed by a monotonically increasing generation counter; chunk
-      dispatches carry the generation and workers refuse mismatched ones,
-      so a stale worker can never serve a new phase.
-    * Treat a context — and every component inside it — as frozen once a
-      phase ran with it: the workers hold their own copies, components are
-      cached worker-side by parent object identity (a component shipped in
-      one phase is referenced by token in later phases, never re-sent), and
-      the broadcast is skipped entirely when the same context object is
-      installed twice.  Mutating shipped state would desynchronise parent
-      and workers.
-    * The pool is sized to ``workers`` once, at first use; phases with
-      fewer keys simply leave workers idle, phases with a single key (or
-      running inside a pool worker) fall back to the serial path without
-      touching the generation counter.
-    * Shipped components are retained — parent-side (strong refs) and in
-      every worker's store — until :meth:`close`.  This is deliberate: a
-      component absent from one phase's context routinely recurs in a
-      later one (the tree maps skip the Section 8.2 phase and return for
-      assembly), and evicting on absence would forfeit exactly the
-      transfers the store exists to avoid.  The cost is bounded by the
-      solve's working set per process, which is why a ``WorkerPool`` is a
-      per-solve object, not a long-lived service; close it when the solve
-      ends.
-    """
-
-    def __init__(
-        self,
-        workers: int = 0,
-        start_method: Optional[str] = None,
-        max_crash_retries: int = DEFAULT_MAX_CRASH_RETRIES,
-        degrade_to_serial: bool = True,
-        chunk_timeout: Optional[float] = None,
-    ):
-        if workers < 0:
-            raise InvalidParameterError(
-                f"workers must be non-negative, got {workers}"
-            )
-        if max_crash_retries < 0:
-            raise InvalidParameterError(
-                f"max_crash_retries must be non-negative, got {max_crash_retries}"
-            )
-        if chunk_timeout is not None and chunk_timeout <= 0:
-            raise InvalidParameterError(
-                f"chunk_timeout must be positive, got {chunk_timeout}"
-            )
-        self.workers = workers
-        self.max_crash_retries = max_crash_retries
-        self.degrade_to_serial = degrade_to_serial
-        self.chunk_timeout = chunk_timeout
-        #: crash events survived (pool torn down + respawned); cumulative.
-        self.crash_recoveries = 0
-        #: phases that exhausted retries and finished on the serial path.
-        self.serial_degradations = 0
-        self._start_method = start_method
-        self._pool: Optional[Any] = None
-        self._size = 0
-        self._generation = 0
-        self._installed: Any = None
-        self._worker_pids: frozenset = frozenset()
-        # Component-store bookkeeping: token per shipped context component,
-        # keyed by object identity.  The strong refs keep the ids stable
-        # (a recycled id must never alias a dead component's token).
-        self._next_token = 0
-        self._shipped_tokens: Dict[int, int] = {}
-        self._shipped_values: List[Any] = []
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def __enter__(self) -> "WorkerPool":
-        return self
-
-    def __exit__(self, *exc_info) -> bool:
-        self.close()
-        return False
-
-    @property
-    def is_open(self) -> bool:
-        """``True`` while an underlying multiprocessing pool is running."""
-        return self._pool is not None
-
-    @property
-    def generation(self) -> int:
-        """The generation counter of the currently installed phase context."""
-        return self._generation
-
-    def close(self) -> None:
-        """Terminate the underlying pool (if any) and drop shipped state.
-
-        Termination itself is crash-safe: ``Pool.terminate`` can hang on
-        queue locks a SIGKILLed worker took to its grave, so it runs on a
-        helper thread with a :data:`POOL_TERMINATE_TIMEOUT` budget.  Past
-        the budget the pool is abandoned — its maintenance loop is told to
-        stop respawning, every worker process is SIGKILLed, and the pool
-        object (whose support threads are daemonic) is dropped.
-        """
-        if self._pool is not None:
-            pool = self._pool
-            terminator = threading.Thread(
-                target=self._terminate_quietly, args=(pool,), daemon=True
-            )
-            terminator.start()
-            terminator.join(POOL_TERMINATE_TIMEOUT)
-            if terminator.is_alive():
-                self._abandon_pool(pool)
-            self._pool = None
-            self._size = 0
-        # The worker stores died with the pool; forget what was shipped so
-        # a reopened pool never references tokens its workers do not hold.
-        self._installed = None
-        self._worker_pids = frozenset()
-        self._shipped_tokens = {}
-        self._shipped_values = []
-
-    # -- internals ---------------------------------------------------------
-
-    @staticmethod
-    def _terminate_quietly(pool: Any) -> None:
-        try:
-            pool.terminate()
-            pool.join()
-        except Exception:  # pragma: no cover - teardown best-effort
-            pass
-
-    @staticmethod
-    def _abandon_pool(pool: Any) -> None:
-        """Forcibly dismantle a pool whose clean terminate wedged.
-
-        Ordering matters: the worker-maintenance thread must be told to
-        stop *before* the workers are killed, or it would respawn them.
-        The wedged terminator thread and the pool's handler threads are
-        daemonic, so dropping the object leaks no non-daemonic state.
-        """
-        import multiprocessing.pool as mp_pool
-
-        handler = getattr(pool, "_worker_handler", None)
-        if handler is not None:
-            handler._state = getattr(mp_pool, "TERMINATE", "TERMINATE")
-        for proc in list(getattr(pool, "_pool", [])):
-            try:
-                if proc.is_alive():
-                    os.kill(proc.pid, 9)
-            except (OSError, AttributeError):  # pragma: no cover
-                pass
-
-    def _encode_context(
-        self, context: Any
-    ) -> Tuple[Any, Optional[Dict], Dict[int, int], List[Any]]:
-        """Split ``context`` into (new components, token layout, pending).
-
-        Dict contexts are tokenised by component identity: a component
-        already shipped to the workers travels as a token reference, only
-        genuinely new components are serialised.  Phases share their heavy
-        inputs (the graph, the source/landmark/center tree maps), so after
-        the first phase a broadcast typically carries one or two new
-        tables, not the whole working set.  Non-dict contexts bypass the
-        store (``layout=None``, shipped whole).
-
-        The shipped-component bookkeeping is **not** mutated here: the
-        pending ``(id -> token, strong refs)`` pair is returned for the
-        caller to commit only once the transfer provably reached every
-        worker — a failed broadcast must not leave the parent believing
-        the workers hold components they never stored.
-        """
-        if not isinstance(context, dict):
-            return context, None, {}, []
-        new: Dict[int, Any] = {}
-        layout: Dict[Any, int] = {}
-        pending_tokens: Dict[int, int] = {}
-        pending_values: List[Any] = []
-        for key, value in context.items():
-            token = self._shipped_tokens.get(id(value))
-            if token is None:
-                token = pending_tokens.get(id(value))
-            if token is None:
-                token = self._next_token
-                self._next_token += 1
-                pending_tokens[id(value)] = token
-                pending_values.append(value)
-                new[token] = value
-            layout[key] = token
-        return new, layout, pending_tokens, pending_values
-
-    def _commit_shipped(
-        self, pending_tokens: Dict[int, int], pending_values: List[Any]
-    ) -> None:
-        self._shipped_tokens.update(pending_tokens)
-        self._shipped_values.extend(pending_values)
-
-    def _ensure_open(self, context: Any) -> None:
-        """Open the pool on first pooled use, seeding it with ``context``.
-
-        The first context travels through the pool initializer — free under
-        ``fork`` (inherited memory), pickled once per worker under
-        ``spawn`` — so a one-shot use of the pool costs exactly what the
-        pre-``WorkerPool`` per-phase scheduling cost.
-        """
-        global POOLS_OPENED
-        if self._pool is not None:
-            return
-        ctx = multiprocessing.get_context(
-            self._start_method or default_start_method()
-        )
-        self._size = self.workers
-        self._generation += 1
-        new, layout, pending_tokens, pending_values = self._encode_context(context)
-        barrier = ctx.Barrier(self._size)
-        self._pool = ctx.Pool(
-            processes=self._size,
-            initializer=_install_pool_worker,
-            initargs=(barrier, self._generation, new, layout),
-        )
-        POOLS_OPENED += 1
-        self._worker_pids = frozenset(
-            proc.pid for proc in getattr(self._pool, "_pool", [])
-        )
-        self._commit_shipped(pending_tokens, pending_values)
-        self._installed = context
-
-    def _pool_damaged(self) -> bool:
-        """``True`` when any original worker died (abnormal exit).
-
-        Pool workers never exit on their own (no ``maxtasksperchild``), so
-        a missing or dead pid means a crash.  ``multiprocessing.Pool``'s
-        maintenance thread silently respawns dead workers, which is why the
-        check compares against the pid set snapshotted at open: a respawned
-        replacement has a new pid (and, fatally, the *initial* context, not
-        the current generation), so it must not be trusted either.
-        """
-        procs = getattr(self._pool, "_pool", None)
-        if procs is None:
-            return True
-        pids = set()
-        for proc in procs:
-            if not proc.is_alive():
-                return True
-            pids.add(proc.pid)
-        return pids != self._worker_pids
-
-    def _install(self, context: Any) -> None:
-        """Broadcast ``context`` into every running worker (new generation).
-
-        The new components are pickled once per phase (the workers receive
-        the same pre-serialised blob), and components the workers already
-        hold travel as token references — see :meth:`_encode_context`.
-
-        The broadcast is health-monitored: every worker must pass the
-        barrier, so a worker that died (or dies mid-broadcast) would wedge
-        a blocking ``map`` forever.  Polling the async handle against the
-        liveness check converts that hang into a :class:`_PoolCrash`,
-        which the retry loop answers by respawning the pool.
-        """
-        if self._installed is context:
-            return
-        self._generation += 1
-        new, layout, pending_tokens, pending_values = self._encode_context(context)
-        blob = pickle.dumps(
-            (self._generation, new, layout), pickle.HIGHEST_PROTOCOL
-        )
-        handle = self._pool.map_async(
-            _set_context_task, [blob] * self._size, chunksize=1
-        )
-        deadline = time.monotonic() + BROADCAST_TIMEOUT
-        while not handle.ready():
-            if self._pool_damaged():
-                raise _PoolCrash(
-                    f"a pool worker died during the context broadcast for "
-                    f"generation {self._generation}"
-                )
-            if time.monotonic() > deadline:
-                raise _PoolCrash(
-                    f"context broadcast for generation {self._generation} "
-                    f"did not complete within {BROADCAST_TIMEOUT}s"
-                )
-            handle.wait(_POLL_INTERVAL)
-        try:
-            echoed = handle.get()
-        except _CRASH_EXCEPTIONS as exc:
-            raise _PoolCrash(
-                f"context broadcast failed with transport error {exc!r}"
-            ) from exc
-        if echoed != [self._generation] * self._size:
-            raise InternalInvariantError(
-                f"context broadcast for generation {self._generation} "
-                f"echoed {echoed} from {self._size} workers"
-            )
-        # Only a provably complete broadcast registers its components as
-        # shipped; a failed sweep re-ships them next time (workers that
-        # did store them just overwrite the same tokens).
-        self._commit_shipped(pending_tokens, pending_values)
-        self._installed = context
-
-    # -- scheduling --------------------------------------------------------
-
-    def run(
-        self,
-        task: Callable[[Sequence[Hashable]], Dict[Hashable, Any]],
-        keys: Sequence[Hashable],
-        context: Any,
-        chunks_per_worker: int = 1,
-    ) -> Dict[Hashable, Any]:
-        """Apply ``task`` to ``keys`` on this pool (one sharded phase).
-
-        Same contract as :func:`run_sharded`: the result is keyed in input
-        order and byte-identical to the serial run.  Phases that cannot
-        shard (``workers <= 1``, one distinct key, inside a pool worker)
-        run the identical task function in-process without opening a pool.
-        Worker crashes are recovered per the class docstring: unfinished
-        chunks are re-executed on a respawned pool, bounded by
-        ``max_crash_retries``, then the phase degrades to the serial path
-        (or raises :class:`~repro.exceptions.WorkerCrashError` when
-        ``degrade_to_serial`` is off).
-        """
-        _check_chunks_per_worker(chunks_per_worker)
-        key_list = list(keys)
-        distinct = _distinct_keys(key_list)
-        if resolve_workers(self.workers, len(distinct)) == 0:
-            merged = _run_serial(task, distinct, context)
-        else:
-            merged = self._run_pooled(task, distinct, context, chunks_per_worker)
-        return _fan_out(merged, distinct, key_list, task)
-
-    def _run_pooled(
-        self,
-        task: Callable,
-        distinct: List[Hashable],
-        context: Any,
-        chunks_per_worker: int,
-    ) -> Dict[Hashable, Any]:
-        """One sharded phase with crash recovery.
-
-        ``pending`` maps stable chunk indices to key chunks; a crash only
-        ever retries what is still in ``pending`` — chunks whose results
-        were already collected are kept (purity makes a re-execution
-        byte-identical anyway, so salvaging is a pure optimisation).
-        """
-        num_chunks = min(len(distinct), self.workers * chunks_per_worker)
-        pending: Dict[int, List[Hashable]] = dict(
-            enumerate(chunk_keys(distinct, num_chunks))
-        )
-        done: Dict[int, Dict[Hashable, Any]] = {}
-        crashes = 0
-        while pending:
-            try:
-                self._ensure_open(context)
-                self._install(context)
-                self._collect(task, pending, done)
-            except _PoolCrash as crash:
-                crashes += 1
-                self.crash_recoveries += 1
-                # The damaged pool (and possibly workers wedged on a
-                # broadcast barrier) is unrecoverable state: tear it down
-                # and let the next iteration respawn it with the current
-                # phase context.
-                self.close()
-                if crashes > self.max_crash_retries:
-                    if not self.degrade_to_serial:
-                        raise WorkerCrashError(
-                            f"sharded phase "
-                            f"{getattr(task, '__name__', task)!r} lost its "
-                            f"worker pool {crashes} time(s) "
-                            f"(last failure: {crash}); {len(pending)} of "
-                            f"{num_chunks} chunk(s) unfinished after "
-                            f"{self.max_crash_retries} retries"
-                        ) from crash
-                    # Graceful degradation: the identical in-process
-                    # serial path finishes the remaining chunks, so the
-                    # phase's output is still byte-identical.
-                    self.serial_degradations += 1
-                    for index in sorted(pending):
-                        done[index] = _run_serial(task, pending.pop(index), context)
-        merged: Dict[Hashable, Any] = {}
-        for index in sorted(done):
-            merged.update(done[index])
-        return merged
-
-    def _collect(
-        self,
-        task: Callable,
-        pending: Dict[int, List[Hashable]],
-        done: Dict[int, Dict[Hashable, Any]],
-    ) -> None:
-        """Dispatch every pending chunk and gather results until all land.
-
-        Raises :class:`_PoolCrash` on a dead worker, a transport error, or
-        the chunk deadline; deterministic task exceptions propagate as-is
-        (retrying them would re-raise identically).  ``pending``/``done``
-        are updated in place so a crash preserves partial progress.
-        """
-        handles = {
-            index: self._pool.apply_async(
-                _dispatch_chunk, ((task, self._generation, index, chunk),)
-            )
-            for index, chunk in sorted(pending.items())
-        }
-        deadline = None
-        if self.chunk_timeout is not None:
-            # Chunks beyond the pool size queue behind earlier ones; scale
-            # the budget by the number of scheduling waves so a deep queue
-            # is not misread as a hang.
-            waves = math.ceil(len(handles) / max(1, self._size))
-            deadline = time.monotonic() + self.chunk_timeout * waves
-        while handles:
-            progressed = False
-            for index, handle in list(handles.items()):
-                if not handle.ready():
-                    continue
-                try:
-                    done[index] = handle.get()
-                except _CRASH_EXCEPTIONS as exc:
-                    raise _PoolCrash(
-                        f"chunk {index} failed with transport error {exc!r}"
-                    ) from exc
-                del handles[index]
-                del pending[index]
-                progressed = True
-            if not handles:
-                return
-            if self._pool_damaged():
-                raise _PoolCrash(
-                    f"a pool worker exited abnormally with chunk(s) "
-                    f"{sorted(handles)} in flight"
-                )
-            if deadline is not None and time.monotonic() > deadline:
-                raise _PoolCrash(
-                    f"chunk(s) {sorted(handles)} exceeded the "
-                    f"{self.chunk_timeout}s per-chunk timeout"
-                )
-            if not progressed:
-                time.sleep(_POLL_INTERVAL)
-
-
-def run_sharded(
-    task: Callable[[Sequence[Hashable]], Dict[Hashable, Any]],
-    keys: Sequence[Hashable],
-    context: Any,
-    workers: int = 0,
-    start_method: Optional[str] = None,
-    chunks_per_worker: int = 1,
-    pool: Optional[WorkerPool] = None,
-    max_crash_retries: int = DEFAULT_MAX_CRASH_RETRIES,
-    degrade_to_serial: bool = True,
-    chunk_timeout: Optional[float] = None,
-) -> Dict[Hashable, Any]:
-    """Apply ``task`` to ``keys``, sharded across a process pool.
-
-    Parameters
-    ----------
-    task:
-        A **module-level** function (so ``spawn`` can pickle it by name)
-        taking a chunk of keys and returning ``{key: result}`` for exactly
-        that chunk.  It reads the shared inputs via :func:`worker_context`.
-    keys:
-        The work units.  Order defines the merge order of the result;
-        duplicate keys are computed once and share the result.
-    context:
-        The read-only shared inputs, shipped once per worker.
-    workers:
-        Requested worker count; ``0``/``1`` run the task in-process.
-        Ignored when ``pool`` is given (the pool's size wins).
-    start_method:
-        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; defaults to
-        :func:`default_start_method`.  Ignored when ``pool`` is given.
-    chunks_per_worker:
-        Scheduling granularity (at least 1).  ``1`` (default) minimises
-        transfer — one chunk per worker; larger values trade dispatch
-        overhead for load balancing when per-key costs are skewed.
-    pool:
-        An open :class:`WorkerPool` to reuse.  When given, this phase's
-        context is broadcast into the pool's running workers instead of
-        paying a pool start-up; when omitted, a one-shot pool spans just
-        this call.
-    max_crash_retries, degrade_to_serial, chunk_timeout:
-        Crash-recovery knobs for the one-shot pool (see
-        :class:`WorkerPool`).  Ignored when ``pool`` is given — the pool's
-        own settings win.
-
-    Returns
-    -------
-    dict
-        ``{key: result}`` in ``keys`` order — byte-identical to the serial
-        run at any worker count.
-    """
-    if pool is not None:
-        return pool.run(task, keys, context, chunks_per_worker=chunks_per_worker)
-    _check_chunks_per_worker(chunks_per_worker)
-    key_list = list(keys)
-    distinct = _distinct_keys(key_list)
-    pool_size = resolve_workers(workers, len(distinct))
-    if pool_size == 0:
-        return _fan_out(_run_serial(task, distinct, context), distinct, key_list, task)
-    with WorkerPool(
-        pool_size,
-        start_method=start_method,
-        max_crash_retries=max_crash_retries,
-        degrade_to_serial=degrade_to_serial,
-        chunk_timeout=chunk_timeout,
-    ) as one_shot:
-        return one_shot.run(task, key_list, context, chunks_per_worker=chunks_per_worker)
-
-
-def _run_serial(
-    task: Callable[[Sequence[Hashable]], Dict[Hashable, Any]],
-    keys: List[Hashable],
-    context: Any,
-) -> Dict[Hashable, Any]:
-    """In-process fallback: same task, same context plumbing, no pool."""
-    previous = getattr(_TLS, "context", None)
-    _TLS.context = context
+#: Historical name of the process transport.
+WorkerPool = LocalProcessExecutor
+
+__all__ = [
+    "BROADCAST_TIMEOUT",
+    "DEFAULT_MAX_CRASH_RETRIES",
+    "POOL_TERMINATE_TIMEOUT",
+    "START_METHOD_ENV",
+    "Executor",
+    "LocalProcessExecutor",
+    "SerialExecutor",
+    "WorkerPool",
+    "chunk_keys",
+    "default_start_method",
+    "make_executor",
+    "resolve_workers",
+    "run_sharded",
+    "worker_context",
+]
+
+
+def __getattr__(name: str):
+    # Forward everything else — notably the live counters/worker state
+    # (POOLS_OPENED, _TLS, _STORE, _WORKER_BARRIER, _dispatch_chunk, ...) —
+    # to the executor module so readers see current values.
     try:
-        return task(keys)
-    finally:
-        _TLS.context = previous
+        return getattr(_executor, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None

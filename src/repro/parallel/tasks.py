@@ -1,8 +1,8 @@
 """Module-level task functions for the sharded pipeline phases.
 
 Each function here is the per-chunk body of one
-:func:`repro.parallel.pool.run_sharded` phase: it reads the phase's shared
-inputs from :func:`~repro.parallel.pool.worker_context` and returns a
+:func:`repro.parallel.executor.run_sharded` phase: it reads the phase's shared
+inputs from :func:`~repro.parallel.executor.worker_context` and returns a
 ``{key: result}`` dict for the chunk it was handed.  They live at module
 scope (not as closures or methods) because the ``spawn`` start method
 pickles task functions by qualified name.
@@ -28,7 +28,7 @@ from repro.core.near_small import compute_near_small_tables
 from repro.graph.csr import bfs_distances_csr, bfs_tree_csr
 from repro.graph.graph import normalize_edge
 from repro.multisource.tables import compute_center_to_landmark_tables
-from repro.parallel.pool import worker_context
+from repro.parallel.executor import worker_context
 
 
 def chaos_probe_task(keys: Sequence[int]) -> Dict[int, int]:

@@ -34,7 +34,7 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.csr import bfs_distances_csr, bfs_tree_csr
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.tree import ShortestPathTree
-from repro.parallel import WorkerPool, run_sharded
+from repro.parallel import Executor, LocalProcessExecutor, run_sharded
 
 #: target -> (failed edge -> replacement length)
 SingleSourceAnswer = Dict[int, Dict[Edge, float]]
@@ -65,7 +65,7 @@ def brute_force_single_source(
     source: int,
     source_tree: Optional[ShortestPathTree] = None,
     workers: int = 0,
-    pool: Optional[WorkerPool] = None,
+    pool: Optional[Executor] = None,
 ) -> SingleSourceAnswer:
     """Ground-truth SSRP: replacement lengths for every target and failed edge.
 
@@ -116,15 +116,15 @@ def brute_force_multi_source(
     graph: Graph,
     sources: Iterable[int],
     workers: int = 0,
-    pool: Optional[WorkerPool] = None,
+    pool: Optional[Executor] = None,
 ) -> MultiSourceAnswer:
     """Ground-truth MSRP: one brute-force SSRP per source.
 
     ``workers``/``pool`` shard each per-source edge sweep; when no pool is
-    given one :class:`~repro.parallel.WorkerPool` spans all sources, so a
+    given one :class:`~repro.parallel.LocalProcessExecutor` spans all sources, so a
     multi-source verification never pays more than one pool start-up.
     """
-    scope = nullcontext(pool) if pool is not None else WorkerPool(workers)
+    scope = nullcontext(pool) if pool is not None else LocalProcessExecutor(workers)
     answer: MultiSourceAnswer = {}
     with scope as active_pool:
         for s in sources:

@@ -1,0 +1,74 @@
+"""Crash-safe filesystem write primitives shared across the repo.
+
+Extracted from :mod:`repro.store.format` (where the staged-tempdir /
+fsync / rename discipline was introduced for the oracle store) so other
+durable artefacts — notably the checkpoint journal of
+:mod:`repro.parallel.journal` — reuse the same machinery instead of
+re-deriving it.
+
+The contract of every helper here: a crash at *any* instant leaves the
+target path holding either its previous complete contents or nothing.
+Readers therefore never see a torn file; validation layers above (store
+checksums, journal record unpickling) are the second line of defence,
+not the first.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def fsync_directory(path: str) -> None:
+    """Flush a directory's entry table to disk (best effort).
+
+    Some filesystems/platforms reject ``fsync`` on directory descriptors;
+    atomicity (the rename barrier) does not depend on it, only crash
+    durability does, so failures are swallowed.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_file_synced(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` and force it to stable storage."""
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def atomic_write_file(path: str, data: bytes) -> None:
+    """Publish ``data`` at ``path`` via a synced sibling temp file + rename.
+
+    The payload lands in a same-directory temporary file (rename is only
+    atomic within a filesystem), is fsynced, and is renamed over the
+    target in one step; the directory entry is then fsynced so the
+    rename itself survives a crash.  On any failure the temp file is
+    removed and the target is untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, staged = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp.", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.rename(staged, path)
+    except BaseException:
+        try:
+            os.unlink(staged)
+        except OSError:  # pragma: no cover - already renamed or gone
+            pass
+        raise
+    fsync_directory(directory)

@@ -94,6 +94,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.core.result import PerSourceTable, ReplacementPathResult
 from repro.exceptions import InvalidParameterError
 from repro.faults.harness import checkpoint
+from repro.store.atomic import (
+    fsync_directory as _fsync_directory,
+    write_file_synced as _write_file_synced,
+)
 from repro.graph.graph import Graph
 from repro.graph.tree import ShortestPathTree
 from repro.npsupport import np, numpy_enabled, require_numpy
@@ -306,32 +310,6 @@ def _flatten_table(per_source: PerSourceTable) -> Tuple[List[int], List[int], Li
             edge_v.append(v)
             values.append(value)
     return targets, counts, edge_u, edge_v, values
-
-
-def _fsync_directory(path: str) -> None:
-    """Flush a directory's entry table to disk (best effort).
-
-    Some filesystems/platforms reject ``fsync`` on directory descriptors;
-    atomicity (the rename barrier) does not depend on it, only crash
-    durability does, so failures are swallowed.
-    """
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform-dependent
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - platform-dependent
-        pass
-    finally:
-        os.close(fd)
-
-
-def _write_file_synced(path: str, data: bytes) -> None:
-    with open(path, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
 
 
 def _swap_into_place(staging: str, directory: str) -> None:

@@ -1,14 +1,19 @@
-"""Chaos battery: the crash-safe pool scheduler under injected faults.
+"""Chaos battery: the executor layer under injected faults.
 
 The contract being pinned (``docs/robustness.md``): under any injected
-pool fault — a SIGKILLed worker, a hung chunk, a deterministic task
+executor fault — a SIGKILLed worker, a hung chunk, a deterministic task
 error — a sharded phase either finishes with output byte-identical to
 the serial run or raises a typed error.  Never a hang (every test here
 runs under a hard SIGALRM), never a silent wrong answer.
 
-Faults come from :mod:`repro.faults`: a seeded plan file that the pool
-worker's chunk dispatch consults, with one-shot cross-process claims so
-a killed-and-retried chunk does not re-trigger its own kill.
+The battery targets the :class:`~repro.parallel.Executor` interface, not
+pool internals: the per-chunk fault hook fires through every transport
+(:class:`~repro.parallel.SerialExecutor` included), so a future remote
+executor inherits this test surface unchanged.
+
+Faults come from :mod:`repro.faults`: a seeded plan file that the
+executor's chunk dispatch consults, with one-shot cross-process claims
+so a killed-and-retried chunk does not re-trigger its own kill.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import signal
 
 import pytest
 
-import repro.parallel.pool as pool_module
+import repro.parallel.executor as executor_module
 from repro.core.msrp import MSRPSolver
 from repro.core.params import AlgorithmParams
 from repro.exceptions import InvalidParameterError, WorkerCrashError
@@ -33,7 +38,7 @@ from repro.faults import (
     fired_count,
 )
 from repro.graph import generators
-from repro.parallel.pool import WorkerPool, run_sharded
+from repro.parallel import SerialExecutor, WorkerPool, run_sharded
 from repro.parallel.tasks import chaos_probe_task
 
 #: Hard wall-clock bound per test: the battery's whole point is "never a
@@ -157,14 +162,51 @@ def test_kill_fault_refuses_outside_pool_worker(tmp_path):
     with active_plan(plan, str(tmp_path)):
         # workers=0 routes through the serial path, which never consults
         # the chunk hook — so drive the dispatch shim directly.
-        pool_module._TLS.generation = 99
-        pool_module._TLS.context = CONTEXT
+        executor_module._TLS.generation = 99
+        executor_module._TLS.context = CONTEXT
         try:
             with pytest.raises(InjectedFault, match="outside a daemonic"):
-                pool_module._dispatch_chunk((chaos_probe_task, 99, 0, [0, 1]))
+                executor_module._dispatch_chunk((chaos_probe_task, 99, 0, [0, 1]))
         finally:
-            del pool_module._TLS.generation
-            del pool_module._TLS.context
+            del executor_module._TLS.generation
+            del executor_module._TLS.context
+
+
+def test_serial_executor_honours_chunk_faults(tmp_path):
+    """The fault hook is part of the Executor interface, not a pool
+    detail: SerialExecutor's chunk loop consults the same plan, so a
+    deterministic raise_chunk fault fires in-process too."""
+    plan = FaultPlan([Fault("raise_chunk", chunk_index=0)])
+    with active_plan(plan, str(tmp_path)) as plan_path:
+        with SerialExecutor() as executor:
+            with pytest.raises(InjectedFault):
+                executor.run(chaos_probe_task, KEYS, CONTEXT)
+        assert fired_count(plan_path) == 1
+
+
+def test_close_after_abandoned_pool_is_noop(monkeypatch):
+    """Regression (satellite): when terminate wedges and the pool is
+    abandoned, close() must not raise — and further close() calls, and
+    exiting the with-block, must be no-ops."""
+    monkeypatch.setattr(executor_module, "POOL_TERMINATE_TIMEOUT", 0.05)
+
+    def _wedged_terminate(self, pool):
+        import time
+
+        time.sleep(60.0)
+
+    monkeypatch.setattr(
+        executor_module.LocalProcessExecutor, "_terminate_quietly", _wedged_terminate
+    )
+    with WorkerPool(2) as pool:
+        result = pool.run(chaos_probe_task, KEYS, CONTEXT)
+        pool.close()  # abandons: _terminate_quietly never returns
+        assert pool._pool is None
+        pool.close()  # idempotent after abandonment
+        pool.close()
+    # __exit__ already ran close() a fourth time; one more for good measure.
+    pool.close()
+    assert result == serial_result()
 
 
 # ---------------------------------------------------------------------------

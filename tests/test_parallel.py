@@ -5,9 +5,14 @@ Five families:
 * **Scheduler semantics** — chunking, serial fallback, context plumbing,
   spawn-vs-fork, merge order and completeness (including duplicate keys
   and the validation of every scheduling knob).
-* **Pool lifecycle** — :class:`~repro.parallel.WorkerPool` reuse across
-  phases: one multiprocessing pool per solve, generation-countered
-  context broadcasts, the stale-worker guard, and serial degradation.
+* **Executor contract** — :class:`~repro.parallel.SerialExecutor` and
+  :class:`~repro.parallel.LocalProcessExecutor` behind one interface:
+  identical results, shared stats surface, idempotent close, and the
+  ``repro.parallel.pool`` compatibility facade.
+* **Pool lifecycle** — :class:`~repro.parallel.LocalProcessExecutor`
+  (a.k.a. ``WorkerPool``) reuse across phases: one multiprocessing pool
+  per solve, generation-countered context broadcasts, the stale-worker
+  guard, and serial degradation.
 * **Determinism** — the full MSRP solve is entry-for-entry identical at
   ``workers`` ∈ {serial, 2, 4} for both landmark strategies and both
   pool-reuse modes (the contract the benchmark harness' fingerprint
@@ -35,14 +40,19 @@ from repro.graph.csr import bfs_many
 from repro.multisource.centers import CenterHierarchy
 from repro.multisource.pipeline import compute_auxiliary_tables
 from repro.parallel import (
+    EXECUTOR_KINDS,
+    LocalProcessExecutor,
+    SerialExecutor,
     WorkerPool,
     child_rng,
     derive_child_seed,
+    make_executor,
     resolve_workers,
     run_sharded,
 )
+from repro.parallel import executor as executor_module
 from repro.parallel import pool as pool_module
-from repro.parallel.pool import chunk_keys, default_start_method
+from repro.parallel.executor import chunk_keys, default_start_method
 from repro.parallel.tasks import bfs_roots_task
 from repro.rp.bruteforce import brute_force_multi_source, brute_force_single_source
 
@@ -139,13 +149,95 @@ class TestScheduler:
         """Regression: a typo in ``REPRO_MP_START_METHOD`` used to surface
         as an opaque ``ValueError`` inside ``multiprocessing.get_context``;
         it must fail with ``InvalidParameterError`` naming the variable."""
-        monkeypatch.setenv(pool_module.START_METHOD_ENV, "frok")
-        with pytest.raises(InvalidParameterError, match=pool_module.START_METHOD_ENV):
+        monkeypatch.setenv(executor_module.START_METHOD_ENV, "frok")
+        with pytest.raises(InvalidParameterError, match=executor_module.START_METHOD_ENV):
             default_start_method()
-        monkeypatch.setenv(pool_module.START_METHOD_ENV, "spawn")
+        monkeypatch.setenv(executor_module.START_METHOD_ENV, "spawn")
         assert default_start_method() == "spawn"
-        monkeypatch.delenv(pool_module.START_METHOD_ENV)
+        monkeypatch.delenv(executor_module.START_METHOD_ENV)
         assert default_start_method() in ("fork", "spawn")
+
+
+# ---------------------------------------------------------------------------
+# the executor contract: both transports behind one interface
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorContract:
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_transports_match_serial(self, kind):
+        """Every registered transport produces the serial result — same
+        keys, same order, same values — for a multi-phase workload with
+        duplicate keys."""
+        graph = generators.random_connected_graph(24, extra_edges=30, seed=2)
+        context = {"graph": graph.csr(), "forbidden_edge": None}
+        roots = [5, 1, 5, 2, 9, 1]
+        reference = run_sharded(bfs_roots_task, roots, context, workers=0)
+        with make_executor(kind, workers=2) as executor:
+            first = executor.run(bfs_roots_task, roots, context)
+            second = executor.run(bfs_roots_task, [3, 8], context)
+        assert list(first) == list(reference)
+        for root in reference:
+            assert first[root].dist == reference[root].dist
+        assert list(second) == [3, 8]
+
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_stats_surface(self, kind):
+        """All transports expose the same stats shape; a clean run reports
+        zero crashes, degradations and journal reuse."""
+        graph = generators.random_connected_graph(16, extra_edges=20, seed=4)
+        context = {"graph": graph.csr(), "forbidden_edge": None}
+        with make_executor(kind, workers=2) as executor:
+            executor.run(bfs_roots_task, [0, 1, 2, 3], context)
+            stats = executor.stats()
+        assert stats["executor"] == kind
+        assert stats["crash_recoveries"] == 0
+        assert stats["serial_degradations"] == 0
+        assert stats["keys_reused_from_journal"] == 0
+        assert "journal" not in stats  # none attached
+
+    def test_serial_executor_opens_no_pool(self):
+        graph = generators.random_connected_graph(16, extra_edges=20, seed=4)
+        context = {"graph": graph.csr(), "forbidden_edge": None}
+        before = executor_module.POOLS_OPENED
+        with SerialExecutor() as executor:
+            result = executor.run(bfs_roots_task, [0, 1, 2, 3], context)
+            assert not executor.is_open
+        assert list(result) == [0, 1, 2, 3]
+        assert executor_module.POOLS_OPENED == before
+
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_close_is_idempotent(self, kind):
+        """Satellite regression: ``close()`` must be safe to call any
+        number of times, including on a never-opened executor and after a
+        context-manager exit already closed it."""
+        graph = generators.random_connected_graph(16, extra_edges=20, seed=4)
+        context = {"graph": graph.csr(), "forbidden_edge": None}
+        executor = make_executor(kind, workers=2)
+        executor.close()  # never opened: no-op
+        with executor:
+            executor.run(bfs_roots_task, [0, 1, 2, 3], context)
+            executor.close()
+            executor.close()  # double close while "in" the with block
+            assert not executor.is_open
+        executor.close()  # after __exit__ already closed
+        assert not executor.is_open
+
+    def test_make_executor_rejects_unknown_kind(self):
+        with pytest.raises(InvalidParameterError, match="executor kind"):
+            make_executor("carrier-pigeon")
+
+    def test_pool_module_facade(self):
+        """The ``repro.parallel.pool`` facade: ``WorkerPool`` is the
+        process transport under its historical name, and live module
+        state (counters, worker TLS) is forwarded dynamically rather than
+        snapshotted at import."""
+        assert pool_module.WorkerPool is LocalProcessExecutor
+        assert pool_module._TLS is executor_module._TLS
+        assert pool_module.POOLS_OPENED == executor_module.POOLS_OPENED
+        assert pool_module.run_sharded is executor_module.run_sharded
+        with pytest.raises(AttributeError, match="no attribute"):
+            pool_module.does_not_exist
 
 
 # ---------------------------------------------------------------------------
@@ -162,7 +254,7 @@ class TestWorkerPool:
         first_ctx = {"graph": graph.csr(), "forbidden_edge": None}
         edge = (0, graph.neighbors(0)[0])
         second_ctx = {"graph": graph.csr(), "forbidden_edge": edge}
-        before = pool_module.POOLS_OPENED
+        before = executor_module.POOLS_OPENED
         with WorkerPool(2) as pool:
             assert not pool.is_open  # opened lazily, on first sharded phase
             first = run_sharded(bfs_roots_task, list(range(8)), first_ctx, pool=pool)
@@ -173,7 +265,7 @@ class TestWorkerPool:
             )
             assert pool.generation > first_generation
         assert not pool.is_open
-        assert pool_module.POOLS_OPENED - before == 1
+        assert executor_module.POOLS_OPENED - before == 1
         serial_first = run_sharded(bfs_roots_task, list(range(8)), first_ctx, workers=0)
         serial_second = run_sharded(
             bfs_roots_task, list(range(8, 14)), second_ctx, workers=0
@@ -197,24 +289,24 @@ class TestWorkerPool:
     def test_serial_pool_never_opens(self):
         graph = generators.random_connected_graph(18, extra_edges=20, seed=5)
         context = {"graph": graph.csr(), "forbidden_edge": None}
-        before = pool_module.POOLS_OPENED
+        before = executor_module.POOLS_OPENED
         for workers in (0, 1):
             with WorkerPool(workers) as pool:
                 result = pool.run(bfs_roots_task, [0, 1, 2], context)
                 assert not pool.is_open
             assert list(result) == [0, 1, 2]
-        assert pool_module.POOLS_OPENED == before
+        assert executor_module.POOLS_OPENED == before
 
     def test_stale_generation_dispatch_rejected(self):
         """The dispatch guard: a worker whose installed context generation
         does not match the chunk's generation must refuse the chunk rather
         than serve a new phase from a stale context."""
-        tls = pool_module._TLS
+        tls = executor_module._TLS
         tls.generation = 3
         tls.context = {"stale": True}
         try:
             with pytest.raises(InternalInvariantError, match="generation"):
-                pool_module._dispatch_chunk((bfs_roots_task, 4, 0, [0]))
+                executor_module._dispatch_chunk((bfs_roots_task, 4, 0, [0]))
         finally:
             del tls.generation
             del tls.context
@@ -229,7 +321,12 @@ class TestWorkerPool:
 # ---------------------------------------------------------------------------
 
 
-def _solve_entries(strategy: str, workers: int, pool_reuse: bool = True):
+def _solve_entries(
+    strategy: str,
+    workers: int,
+    pool_reuse: bool = True,
+    executor: str = None,
+):
     # n=72 matters: this seed's instance has infinite entries, which is what
     # arms the inf-identity assertion below (n=48 has none).
     n = 72
@@ -239,7 +336,9 @@ def _solve_entries(strategy: str, workers: int, pool_reuse: bool = True):
     solver = MSRPSolver(
         graph,
         sources,
-        params=AlgorithmParams(seed=n, workers=workers, pool_reuse=pool_reuse),
+        params=AlgorithmParams(
+            seed=n, workers=workers, pool_reuse=pool_reuse, executor=executor
+        ),
         landmark_strategy=strategy,
     )
     return list(solver.solve().iter_entries())
@@ -269,6 +368,17 @@ def test_fingerprints_identical_across_worker_counts(strategy):
         assert _inf_identity_count(sharded) == _inf_identity_count(serial)
 
 
+@pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+def test_forced_executor_matches_auto(kind):
+    """``params.executor`` forces a transport without changing one entry:
+    the forced-serial and forced-process solves both equal the automatic
+    serial baseline, ``math.inf`` identity included."""
+    serial = _solve_entries("auxiliary", 0)
+    forced = _solve_entries("auxiliary", 2, executor=kind)
+    assert forced == serial
+    assert _inf_identity_count(forced) == _inf_identity_count(serial)
+
+
 @pytest.mark.parametrize("strategy", ["direct", "auxiliary"])
 def test_pool_reuse_off_matches_serial(strategy):
     """``pool_reuse=False`` restores one-pool-per-phase scheduling with
@@ -283,10 +393,10 @@ def test_auxiliary_solve_opens_exactly_one_pool():
     """The pool-lifecycle contract at solver level: a ``workers=2``
     auxiliary solve — BFS fan-out, Section 7.1/8.1-8.3 builds, assembly
     and the final sweep — opens exactly one multiprocessing pool."""
-    before = pool_module.POOLS_OPENED
+    before = executor_module.POOLS_OPENED
     entries = _solve_entries("auxiliary", 2)
     assert entries, "solver produced no entries"
-    assert pool_module.POOLS_OPENED - before == 1
+    assert executor_module.POOLS_OPENED - before == 1
 
 
 def test_verified_solve_shares_the_solve_pool():
@@ -295,7 +405,7 @@ def test_verified_solve_shares_the_solve_pool():
     n = 40
     graph = generators.random_connected_graph(n, extra_edges=60, seed=6)
     sources = [0, 11, 23]
-    before = pool_module.POOLS_OPENED
+    before = executor_module.POOLS_OPENED
     solver = MSRPSolver(
         graph,
         sources,
@@ -303,7 +413,7 @@ def test_verified_solve_shares_the_solve_pool():
         landmark_strategy="auxiliary",
     )
     solver.solve()  # raises InternalInvariantError on any oracle mismatch
-    assert pool_module.POOLS_OPENED - before == 1
+    assert executor_module.POOLS_OPENED - before == 1
 
 
 # ---------------------------------------------------------------------------
@@ -345,18 +455,18 @@ class TestShardedOracle:
 
     def test_multi_source_opens_one_pool(self):
         graph = generators.random_connected_graph(20, extra_edges=26, seed=4)
-        before = pool_module.POOLS_OPENED
+        before = executor_module.POOLS_OPENED
         brute_force_multi_source(graph, [0, 7, 13], workers=2)
-        assert pool_module.POOLS_OPENED - before == 1
+        assert executor_module.POOLS_OPENED - before == 1
 
     def test_single_source_accepts_shared_pool(self):
         graph = generators.random_connected_graph(18, extra_edges=22, seed=8)
         serial = brute_force_single_source(graph, 0)
-        before = pool_module.POOLS_OPENED
+        before = executor_module.POOLS_OPENED
         with WorkerPool(2) as pool:
             first = brute_force_single_source(graph, 0, pool=pool)
             second = brute_force_single_source(graph, 5, pool=pool)
-        assert pool_module.POOLS_OPENED - before == 1
+        assert executor_module.POOLS_OPENED - before == 1
         assert first == serial
         assert second == brute_force_single_source(graph, 5)
 
@@ -371,9 +481,7 @@ class TestShardedOracle:
 @pytest.mark.parametrize("strategy", ["direct", "auxiliary"])
 def test_fingerprints_identical_under_spawn(strategy, monkeypatch):
     """Full solve under the spawn start method (workers re-import repro)."""
-    from repro.parallel import pool
-
-    monkeypatch.setenv(pool.START_METHOD_ENV, "spawn")
+    monkeypatch.setenv(executor_module.START_METHOD_ENV, "spawn")
     assert _solve_entries(strategy, 2) == _solve_entries(strategy, 0)
 
 
