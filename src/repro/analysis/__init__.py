@@ -3,6 +3,7 @@
 from repro.analysis.complexity import (
     PowerLawFit,
     crossover_point,
+    fit_crossover_point,
     fit_power_law,
     geometric_mean,
     predicted_operations,
@@ -12,6 +13,7 @@ from repro.analysis.complexity import (
 __all__ = [
     "PowerLawFit",
     "fit_power_law",
+    "fit_crossover_point",
     "predicted_operations",
     "speedup_table",
     "crossover_point",

@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
+from repro.exceptions import InvalidParameterError
+
 
 @dataclass(frozen=True)
 class PowerLawFit:
@@ -41,12 +43,19 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
 
     Raises
     ------
-    ValueError
-        If fewer than two positive samples are provided.
+    InvalidParameterError
+        If fewer than two positive samples are provided, or if all x
+        values coincide (the exponent is then undefined).  Non-positive
+        samples are dropped before fitting — a log-log fit cannot see
+        them — so an input that is *entirely* non-positive degenerates
+        to the "fewer than two samples" case and raises too.
     """
     points = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
     if len(points) < 2:
-        raise ValueError("fit_power_law needs at least two positive samples")
+        raise InvalidParameterError(
+            f"fit_power_law needs at least two positive samples, got "
+            f"{len(points)} (of {min(len(xs), len(ys))} input pairs)"
+        )
     log_x = [math.log(x) for x, _ in points]
     log_y = [math.log(y) for _, y in points]
     count = len(points)
@@ -55,7 +64,9 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
     sxx = sum((x - mean_x) ** 2 for x in log_x)
     sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(log_x, log_y))
     if sxx == 0:
-        raise ValueError("all x values are identical; exponent is undefined")
+        raise InvalidParameterError(
+            "all x values are identical; exponent is undefined"
+        )
     exponent = sxy / sxx
     intercept = mean_y - exponent * mean_x
     predictions = [intercept + exponent * x for x in log_x]
@@ -89,7 +100,9 @@ def predicted_operations(
         "bk_all_pairs": m * n + n**3,
     }
     if model not in models:
-        raise ValueError(f"unknown cost model {model!r}; choose from {sorted(models)}")
+        raise InvalidParameterError(
+            f"unknown cost model {model!r}; choose from {sorted(models)}"
+        )
     return models[model]
 
 
@@ -102,10 +115,12 @@ def speedup_table(
     Table 1 benchmark prints these ratios per configuration.
     """
     if reference not in timings:
-        raise ValueError(f"reference {reference!r} missing from timings {sorted(timings)}")
+        raise InvalidParameterError(
+            f"reference {reference!r} missing from timings {sorted(timings)}"
+        )
     base = timings[reference]
     if base <= 0:
-        raise ValueError("reference timing must be positive")
+        raise InvalidParameterError("reference timing must be positive")
     return {name: value / base for name, value in timings.items()}
 
 
@@ -118,9 +133,27 @@ def crossover_point(
     ``first - second`` or ``math.inf`` when no crossover occurs in range.
     Benchmarks use this to report where the paper's algorithm starts
     beating a baseline.
+
+    Raises
+    ------
+    InvalidParameterError
+        On length mismatch, on fewer than two samples (a crossover needs
+        an interval), or when the two series coincide everywhere — the
+        crossover of identical curves is undefined, not "at infinity".
     """
     if not (len(xs) == len(first) == len(second)):
-        raise ValueError("series must have equal lengths")
+        raise InvalidParameterError(
+            f"series must have equal lengths, got "
+            f"{len(xs)}/{len(first)}/{len(second)}"
+        )
+    if len(xs) < 2:
+        raise InvalidParameterError(
+            "crossover_point needs at least two samples"
+        )
+    if all(first[i] == second[i] for i in range(len(xs))):
+        raise InvalidParameterError(
+            "the two series coincide everywhere; crossover is undefined"
+        )
     previous_delta = None
     for i, x in enumerate(xs):
         delta = first[i] - second[i]
@@ -132,6 +165,34 @@ def crossover_point(
             return x0 + fraction * (x1 - x0)
         previous_delta = delta
     return math.inf
+
+
+def fit_crossover_point(first: PowerLawFit, second: PowerLawFit) -> float:
+    """Analytic crossover of two fitted power laws.
+
+    Solving ``c1 * x^a1 = c2 * x^a2`` gives
+    ``x = (c2 / c1) ** (1 / (a1 - a2))`` — the model-level counterpart of
+    :func:`crossover_point` on raw series.
+
+    Raises
+    ------
+    InvalidParameterError
+        When the fits are parallel on the log-log plane (equal
+        exponents: the curves either never meet or coincide, so the
+        division above would be by zero) or a coefficient is
+        non-positive (no valid power law).
+    """
+    if first.coefficient <= 0 or second.coefficient <= 0:
+        raise InvalidParameterError(
+            "power-law coefficients must be positive to intersect"
+        )
+    if first.exponent == second.exponent:
+        raise InvalidParameterError(
+            f"parallel fits (both exponents {first.exponent}); the curves "
+            f"never cross at a single point"
+        )
+    ratio = second.coefficient / first.coefficient
+    return ratio ** (1.0 / (first.exponent - second.exponent))
 
 
 def geometric_mean(values: Iterable[float]) -> float:

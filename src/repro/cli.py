@@ -32,8 +32,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.msrp import MSRPSolver
 from repro.core.params import AlgorithmParams
-from repro.exceptions import InvalidParameterError, ReproError
+from repro.exceptions import (
+    InternalInvariantError,
+    InvalidParameterError,
+    ReproError,
+)
 from repro.graph import generators
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.lowerbound.bmm import multiply_naive, multiply_via_msrp
 
 
@@ -202,6 +207,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bmm.add_argument("--size", type=int, default=16)
     bmm.add_argument("--density", type=float, default=0.25)
     bmm.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the architecture-invariant linter (repro-lint)",
+        description=(
+            "AST-based invariant linter enforcing this repository's "
+            "architecture contracts (rule catalogue: docs/lint.md)"
+        ),
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -387,6 +402,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     args = _build_parser().parse_args(argv)
     try:
+        if args.command == "lint":
+            # repro-lint has its own exit-code contract (0 clean, 1
+            # findings, 2 usage error) and reports through its own
+            # formatters, so it bypasses the ReproError -> 1 translation.
+            return run_lint_command(args)
         if args.command == "ssrp":
             return _run_solver(args, [args.source], "direct")
         if args.command == "msrp":
@@ -404,7 +424,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"repro-msrp {args.command}: {exc}", file=sys.stderr)
         return 1
-    raise AssertionError("unreachable")  # pragma: no cover
+    raise InternalInvariantError("unreachable")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,6 +30,14 @@ class NotOnPathError(ReproError, KeyError):
     canonical shortest path between the queried endpoints."""
 
 
+class PathIndexError(ReproError, IndexError):
+    """Raised when an edge index falls outside a decomposed path.
+
+    Subclasses :class:`IndexError` so sequence-style callers that probe
+    with ``except IndexError`` keep working while ``except ReproError``
+    still catches everything the library raises."""
+
+
 class InternalInvariantError(ReproError, AssertionError):
     """Raised when an internal consistency check fails.
 
@@ -48,6 +56,15 @@ class WorkerCrashError(ReproError, RuntimeError):
     Only when those retries are exhausted *and* serial degradation is
     disabled does this error surface — a deliberate, typed failure instead
     of a hang or a bare ``BrokenPipeError`` from ``multiprocessing``.
+    """
+
+
+class ServerStartupError(ReproError, RuntimeError):
+    """Raised when an embedded query server fails to come up in time.
+
+    :class:`~repro.serve.server.ServerThread` bounds how long it waits
+    for the asyncio loop to bind its socket; a hang past that deadline
+    surfaces as this typed error rather than a generic ``RuntimeError``.
     """
 
 

@@ -49,6 +49,14 @@ from repro.npsupport import np, numpy_enabled
 
 _INF = math.inf
 
+#: Dual-substrate registry (checked by ``repro-lint`` REPRO006): each
+#: numpy-tier kernel here maps to the pure-Python twin that the
+#: differential batteries hold it byte-identical to.
+__reference_twin__ = {
+    "_bfs_distances_np": "repro.graph.csr.bfs_distances_csr_py",
+    "_bfs_tree_np": "repro.graph.csr.bfs_tree_csr_py",
+}
+
 #: Functions in this module accept either a :class:`Graph` (whose cached CSR
 #: view is used) or an explicitly compiled :class:`CSRGraph`.
 GraphLike = Union[Graph, "CSRGraph"]

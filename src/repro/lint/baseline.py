@@ -1,0 +1,81 @@
+"""Baseline file: the committed ledger of accepted findings.
+
+The baseline lets the linter land on a codebase with pre-existing debt
+without drowning every run in known noise — findings listed in it are
+reported as *baselined* and do not affect the exit code.  This
+repository's policy (docs/lint.md) is stricter: the committed baseline
+must stay **empty**; true positives get fixed and deliberate exceptions
+use justified suppression comments instead.  The mechanism still ships
+because downstream forks adopting the linter mid-flight need it, and the
+round-trip is pinned by ``tests/test_lint.py``.
+
+Keys come from :attr:`repro.lint.findings.Finding.baseline_key` — no line
+numbers, so unrelated edits above a baselined finding do not churn it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List, Set
+
+from repro.exceptions import InvalidParameterError
+from repro.lint.findings import Finding
+
+#: Default baseline filename, resolved against the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Load the baseline's finding keys; a missing file is an empty one."""
+    if not os.path.exists(path):
+        return set()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise InvalidParameterError(
+            f"baseline {path!r} is not readable JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"baseline {path!r} has unsupported format "
+            f"{payload.get('version') if isinstance(payload, dict) else payload!r} "
+            f"(expected version {_FORMAT_VERSION})"
+        )
+    findings = payload.get("findings", [])
+    if not isinstance(findings, list) or not all(
+        isinstance(entry, dict) and isinstance(entry.get("key"), str)
+        for entry in findings
+    ):
+        raise InvalidParameterError(
+            f"baseline {path!r} findings must be objects with a 'key' string"
+        )
+    return {entry["key"] for entry in findings}
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries: List[dict] = []
+    seen: Set[str] = set()
+    for finding in sorted(findings):
+        key = finding.baseline_key
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "key": key,
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+            }
+        )
+    payload = {"version": _FORMAT_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

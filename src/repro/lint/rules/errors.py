@@ -1,0 +1,120 @@
+"""REPRO003 — the correct-or-loud invariant at the exception layer.
+
+Every failure the :mod:`repro` package raises must be a typed
+:class:`~repro.exceptions.ReproError` subclass so callers (the CLI's
+``main()`` guard, the query client's remote-error mapping, the chaos
+batteries) can distinguish library failures from genuine bugs with one
+``except ReproError``.  A bare ``raise ValueError(...)`` deep in a
+helper silently leaks through that contract — the CLI would print a
+traceback instead of the promised one-line stderr summary.
+
+The rule flags ``raise`` statements of builtin exception types anywhere
+under ``src/repro`` (private helpers included: their exceptions escape
+through public entry points).  Deliberate exemptions:
+
+* ``NotImplementedError`` — the abstract-method idiom;
+* stdlib protocol types (``KeyError``, ``IndexError``, ``AttributeError``,
+  ``StopIteration``, ``TypeError``) raised inside dunder methods, where
+  the *language* contract requires exactly those types (``__getitem__``
+  must raise ``KeyError`` for mapping protocol conformance — note
+  :class:`~repro.exceptions.NotOnPathError` shows how to satisfy both
+  contracts when the error is domain-meaningful);
+* bare ``raise`` (re-raising) and raising caught exception variables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.rules import rule
+from repro.lint.symbols import Project
+
+_UNTYPED = frozenset(
+    {
+        "BaseException",
+        "Exception",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OSError",
+        "IOError",
+        "AssertionError",
+        "AttributeError",
+        "StopIteration",
+        "StopAsyncIteration",
+    }
+)
+
+_PROTOCOL_TYPES = frozenset(
+    {"KeyError", "IndexError", "AttributeError", "StopIteration", "TypeError"}
+)
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None  # attribute / variable raises are out of scope
+
+
+def _enclosing_function_names(tree: ast.Module):
+    """line -> name of the innermost enclosing function (for dunder checks)."""
+    spans = {}
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                end = getattr(child, "end_lineno", child.lineno) or child.lineno
+                for line in range(child.lineno, end + 1):
+                    spans[line] = child.name
+            visit(child)
+
+    visit(tree)
+    return spans
+
+
+@rule(
+    "REPRO003",
+    "raise of an untyped builtin exception instead of a ReproError subclass",
+)
+def check_typed_raises(project: Project) -> Iterable[Finding]:
+    for module in project.repro_modules():
+        enclosing = None  # built lazily, most modules have no offending raise
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if name is None or name not in _UNTYPED:
+                continue
+            if enclosing is None:
+                enclosing = _enclosing_function_names(module.tree)
+            fn_name = enclosing.get(node.lineno, "")
+            if (
+                name in _PROTOCOL_TYPES
+                and fn_name.startswith("__")
+                and fn_name.endswith("__")
+            ):
+                continue
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="REPRO003",
+                message=(
+                    f"raise of untyped {name}; raise a ReproError subclass "
+                    f"(e.g. InvalidParameterError, InternalInvariantError) "
+                    f"so the failure stays typed through the CLI/serving "
+                    f"error contract"
+                ),
+            )

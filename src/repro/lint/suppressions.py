@@ -1,0 +1,131 @@
+"""Suppression comments: the escape hatch that must justify itself.
+
+Two forms, both requiring a written reason after ``--``:
+
+* per line — on the offending line, or alone on the line(s) directly
+  above (a justification continuing over several comment lines shields
+  the first code line below the block)::
+
+      value = compute()  # repro-lint: disable=REPRO002 -- frozen copy, see docs/lint.md
+
+* per file — anywhere in the file (conventionally the top)::
+
+      # repro-lint: disable-file=REPRO005 -- this battery asserts firing via the journal
+
+A suppression without a reason, with an unknown rule id, or with a
+mangled format is itself a finding (``REPRO000``), and ``REPRO000``
+cannot be suppressed — the escape hatch has no escape hatch.  Comments
+are read with :mod:`tokenize` so the marker inside a string literal is
+never mistaken for a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.lint.findings import Finding
+
+#: Rule id of the meta-rule for malformed suppressions / unparsable files.
+SUPPRESSION_RULE = "REPRO000"
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_,\s]*?)\s*(?:--\s*(?P<reason>.*))?$"
+)
+_MARKER = re.compile(r"#\s*repro-lint:")
+
+
+@dataclass
+class FileSuppressions:
+    """Parsed suppression state for one file."""
+
+    #: line -> rule ids suppressed on that line.
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    whole_file: Set[str] = field(default_factory=set)
+    #: malformed-directive findings (REPRO000).
+    problems: List[Finding] = field(default_factory=list)
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule == SUPPRESSION_RULE:
+            return False
+        if rule in self.whole_file:
+            return True
+        return rule in self.by_line.get(line, set())
+
+
+def parse_suppressions(
+    path: str, source: str, known_rules: Set[str]
+) -> FileSuppressions:
+    """Extract every ``repro-lint:`` directive from ``source``."""
+    result = FileSuppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        # The engine reports unparsable files separately; nothing to do.
+        return result
+    for token in tokens:
+        if token.type != tokenize.COMMENT or not _MARKER.search(token.string):
+            continue
+        line, col = token.start
+        match = _DIRECTIVE.search(token.string)
+        if not match:
+            result.problems.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    rule=SUPPRESSION_RULE,
+                    message=(
+                        "malformed repro-lint directive; expected "
+                        "'# repro-lint: disable=REPROxxx -- reason' or "
+                        "'# repro-lint: disable-file=REPROxxx -- reason'"
+                    ),
+                )
+            )
+            continue
+        ids = [part.strip() for part in match.group("ids").split(",") if part.strip()]
+        reason = (match.group("reason") or "").strip()
+        problems = []
+        if not ids:
+            problems.append("names no rule ids")
+        for rule_id in ids:
+            if rule_id not in known_rules:
+                problems.append(f"names unknown rule {rule_id!r}")
+            elif rule_id == SUPPRESSION_RULE:
+                problems.append(f"{SUPPRESSION_RULE} cannot be suppressed")
+        if not reason:
+            problems.append("is missing the '-- reason' justification")
+        if problems:
+            for problem in problems:
+                result.problems.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        col=col,
+                        rule=SUPPRESSION_RULE,
+                        message=f"suppression comment {problem}",
+                    )
+                )
+            continue
+        if match.group("kind") == "disable-file":
+            result.whole_file.update(ids)
+        else:
+            targets = {line}
+            # A directive alone on its line shields the statement below it.
+            # The justification may continue over further comment lines, so
+            # the shield extends through the run of comment-only lines down
+            # to the first code line.
+            lines = source.splitlines()
+            if line <= len(lines) and lines[line - 1].lstrip().startswith("#"):
+                cursor = line + 1
+                while cursor <= len(lines) and lines[cursor - 1].lstrip().startswith("#"):
+                    targets.add(cursor)
+                    cursor += 1
+                targets.add(cursor)
+            for target in targets:
+                result.by_line.setdefault(target, set()).update(ids)
+    return result

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
+from repro.exceptions import PathIndexError
+
 
 @dataclass(frozen=True)
 class PathInterval:
@@ -110,4 +112,4 @@ def interval_for_edge(
     for interval in intervals:
         if interval.contains_edge_index(edge_index):
             return interval
-    raise IndexError(f"edge index {edge_index} outside the decomposed path")
+    raise PathIndexError(f"edge index {edge_index} outside the decomposed path")

@@ -56,6 +56,7 @@ from typing import (
     Tuple,
 )
 
+from repro.exceptions import InvalidParameterError
 from repro.npsupport import np, numpy_enabled
 
 Node = Hashable
@@ -69,7 +70,7 @@ def _check_weights(adjacency: AdjacencyMap) -> None:
     for node, arcs in adjacency.items():
         for neighbour, weight in arcs:
             if weight < 0:
-                raise ValueError(
+                raise InvalidParameterError(
                     f"negative weight {weight} on auxiliary edge {node} -> {neighbour}"
                 )
 
@@ -416,6 +417,10 @@ class InternedAuxiliaryGraph:
         self._ids = {node: i for i, node in enumerate(nodes)}
         self._arc_src = arc_src
         self._arc_dst = arc_dst
+        # repro-lint: disable=REPRO002 -- _arc_w is an array('d') typed
+        # buffer, not boxed floats: every access boxes a fresh float, so
+        # `is math.inf` identity never applies to its elements and there
+        # is nothing to re-canonicalise at the pickle boundary.
         self._arc_w = arc_w
         self._csr_offsets = None
         self._csr_dst = None
@@ -450,7 +455,7 @@ class InternedAuxiliaryGraph:
         # in the bucketing loop below (the once-per-graph hoisted check).
         if arc_w and min(arc_w) < 0:
             k = min(range(m), key=arc_w.__getitem__)
-            raise ValueError(
+            raise InvalidParameterError(
                 f"negative weight {arc_w[k]} on auxiliary edge "
                 f"{self._nodes[arc_src[k]]} -> {self._nodes[arc_dst[k]]}"
             )
@@ -498,7 +503,7 @@ class InternedAuxiliaryGraph:
             w = np.frombuffer(arc_w, dtype=np.float64)
             if float(w.min()) < 0:
                 k = int(w.argmin())
-                raise ValueError(
+                raise InvalidParameterError(
                     f"negative weight {arc_w[k]} on auxiliary edge "
                     f"{self._nodes[arc_src[k]]} -> {self._nodes[arc_dst[k]]}"
                 )

@@ -55,6 +55,7 @@ from repro.exceptions import (
     InvalidParameterError,
     NotOnPathError,
     ReproError,
+    ServerStartupError,
 )
 from repro.faults.harness import connection_action
 from repro.graph.graph import Edge, normalize_edge
@@ -868,7 +869,7 @@ class ServerThread:
     def start(self) -> "ServerThread":
         self._thread.start()
         if not self._started.wait(timeout=10):
-            raise RuntimeError("query server failed to start within 10s")
+            raise ServerStartupError("query server failed to start within 10s")
         if self._startup_error is not None:
             self._thread.join(timeout=10)
             raise self._startup_error

@@ -102,6 +102,13 @@ from repro.graph.graph import Graph
 from repro.graph.tree import ShortestPathTree
 from repro.npsupport import np, numpy_enabled, require_numpy
 
+#: Dual-substrate registry (checked by ``repro-lint`` REPRO006): the
+#: zero-copy mmap view reader is pinned byte-identical to the classic
+#: typed-array read path by the store round-trip batteries.
+__reference_twin__ = {
+    "_SegmentReader._read_view": "repro.store.format._SegmentReader.read",
+}
+
 #: First bytes of every manifest; anything else is not a store.
 MAGIC = "repro-msrp-store"
 #: Current (and only) on-disk layout version.

@@ -7,13 +7,16 @@ import math
 import pytest
 
 from repro.analysis import (
+    PowerLawFit,
     crossover_point,
+    fit_crossover_point,
     fit_power_law,
     geometric_mean,
     predicted_operations,
     speedup_table,
 )
 from repro.cli import main
+from repro.exceptions import InvalidParameterError
 
 
 class TestFitPowerLaw:
@@ -76,6 +79,67 @@ class TestSpeedupAndCrossover:
     def test_geometric_mean(self):
         assert geometric_mean([1, 100]) == pytest.approx(10.0)
         assert geometric_mean([]) == 0.0
+
+
+class TestDegenerateInputsRaiseTyped:
+    """Degenerate inputs raise :class:`InvalidParameterError` — typed (a
+    ``ReproError``) while still a ``ValueError`` for historical callers."""
+
+    def test_fit_power_law_too_few_points(self):
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([], [])
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([1], [2])
+
+    def test_fit_power_law_non_positive_samples(self):
+        # Every sample is dropped by the log-log filter -> degenerate.
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([-1, 0, 2], [3, 4, -5])
+
+    def test_fit_power_law_identical_x(self):
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([7, 7, 7], [1, 2, 3])
+
+    def test_speedup_table_typed(self):
+        with pytest.raises(InvalidParameterError):
+            speedup_table({"a": 1.0}, reference="zzz")
+        with pytest.raises(InvalidParameterError):
+            speedup_table({"a": 0.0}, reference="a")
+
+    def test_unknown_model_typed(self):
+        with pytest.raises(InvalidParameterError):
+            predicted_operations("quantum", 10, 10, 1)
+
+    def test_crossover_point_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            crossover_point([1, 2], [1, 2, 3], [1, 2])
+
+    def test_crossover_point_too_few_samples(self):
+        with pytest.raises(InvalidParameterError):
+            crossover_point([1], [1], [2])
+
+    def test_crossover_point_coinciding_series(self):
+        with pytest.raises(InvalidParameterError):
+            crossover_point([1, 2, 3], [4, 5, 6], [4, 5, 6])
+
+    def test_fit_crossover_point_exact(self):
+        first = PowerLawFit(exponent=2.0, coefficient=1.0, r_squared=1.0)
+        second = PowerLawFit(exponent=1.0, coefficient=8.0, r_squared=1.0)
+        x = fit_crossover_point(first, second)
+        assert x == pytest.approx(8.0)
+        assert first.predict(x) == pytest.approx(second.predict(x))
+
+    def test_fit_crossover_point_parallel_fits(self):
+        first = PowerLawFit(exponent=1.5, coefficient=1.0, r_squared=1.0)
+        second = PowerLawFit(exponent=1.5, coefficient=2.0, r_squared=1.0)
+        with pytest.raises(InvalidParameterError):
+            fit_crossover_point(first, second)
+
+    def test_fit_crossover_point_non_positive_coefficient(self):
+        first = PowerLawFit(exponent=2.0, coefficient=0.0, r_squared=1.0)
+        second = PowerLawFit(exponent=1.0, coefficient=2.0, r_squared=1.0)
+        with pytest.raises(InvalidParameterError):
+            fit_crossover_point(first, second)
 
 
 class TestCLI:

@@ -93,11 +93,14 @@ def test_exhausted_retries_degrade_to_serial(tmp_path):
     """An always-killing chunk exhausts the retry budget; the phase
     finishes on the in-process serial path with identical output."""
     plan = FaultPlan([Fault("kill_worker", chunk_index=0, times=10)])
-    with active_plan(plan, str(tmp_path)):
+    with active_plan(plan, str(tmp_path)) as plan_path:
         with WorkerPool(2, max_crash_retries=2) as pool:
             result = pool.run(chaos_probe_task, KEYS, CONTEXT)
             assert pool.crash_recoveries == 3
             assert pool.serial_degradations == 1
+        # Anti-vacuity: the kill actually fired on every pool attempt
+        # (initial + retries); only the serial fallback escapes it.
+        assert fired_count(plan_path) == 3
     assert result == serial_result()
 
 
@@ -106,10 +109,11 @@ def test_exhausted_retries_raise_typed_error(tmp_path):
     retries surface as WorkerCrashError — not a hang, not a bare
     BrokenPipeError."""
     plan = FaultPlan([Fault("kill_worker", chunk_index=0, times=10)])
-    with active_plan(plan, str(tmp_path)):
+    with active_plan(plan, str(tmp_path)) as plan_path:
         with WorkerPool(2, max_crash_retries=1, degrade_to_serial=False) as pool:
             with pytest.raises(WorkerCrashError) as excinfo:
                 pool.run(chaos_probe_task, KEYS, CONTEXT)
+        assert fired_count(plan_path) >= 1  # anti-vacuity: the kill fired
     message = str(excinfo.value)
     assert "chaos_probe_task" in message
     assert "unfinished" in message
@@ -133,11 +137,14 @@ def test_deterministic_task_error_is_not_retried(tmp_path):
     it propagates typed and unchanged, with zero crash retries (retrying
     would raise identically, purity guarantees it)."""
     plan = FaultPlan([Fault("raise_chunk", chunk_index=1)])
-    with active_plan(plan, str(tmp_path)):
+    with active_plan(plan, str(tmp_path)) as plan_path:
         with WorkerPool(2) as pool:
             with pytest.raises(InjectedFault):
                 pool.run(chaos_probe_task, KEYS, CONTEXT)
             assert pool.crash_recoveries == 0
+        # Exactly one firing doubles as the no-retry proof: a retried
+        # chunk would have claimed the fault a second time.
+        assert fired_count(plan_path) == 1
 
 
 def test_externally_killed_worker_between_phases(tmp_path):
@@ -159,7 +166,7 @@ def test_kill_fault_refuses_outside_pool_worker(tmp_path):
     """Safety interlock: a kill_worker fault reaching a non-daemonic
     process raises instead of SIGKILLing the test process itself."""
     plan = FaultPlan([Fault("kill_worker", chunk_index=0)])
-    with active_plan(plan, str(tmp_path)):
+    with active_plan(plan, str(tmp_path)) as plan_path:
         # workers=0 routes through the serial path, which never consults
         # the chunk hook — so drive the dispatch shim directly.
         executor_module._TLS.generation = 99
@@ -170,6 +177,9 @@ def test_kill_fault_refuses_outside_pool_worker(tmp_path):
         finally:
             del executor_module._TLS.generation
             del executor_module._TLS.context
+        # The claim precedes the interlock, so the refusal still counts
+        # as a firing — vacuity would show up as zero.
+        assert fired_count(plan_path) == 1
 
 
 def test_serial_executor_honours_chunk_faults(tmp_path):

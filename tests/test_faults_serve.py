@@ -126,7 +126,7 @@ def test_dropped_connection_post_not_retried(tmp_path, solved):
     requests surface the failure instead of risking double processing."""
     source, target, edge, _ = reference_query(solved)
     plan = FaultPlan([Fault("drop_connection", connection_index=0)])
-    with active_plan(plan, str(tmp_path)):
+    with active_plan(plan, str(tmp_path)) as plan_path:
         with ServerThread.from_result(solved) as handle:
             client = QueryClient(
                 port=handle.port, retries=3, backoff=0.01, retry_seed=7
@@ -135,6 +135,9 @@ def test_dropped_connection_post_not_retried(tmp_path, solved):
                 client.query_batch([(source, target, edge)])
             # The same client still works for subsequent requests.
             assert client.status()["sources"] == list(solved.sources)
+        # Anti-vacuity: exactly one drop fired, and the POST ate it whole
+        # (a retried POST would have needed a second connection fault).
+        assert fired_count(plan_path) == 1
 
 
 def test_retries_exhausted_is_typed_error(solved):
@@ -182,7 +185,7 @@ def test_shed_load_returns_503_then_recovers(tmp_path, solved):
     # Stall the first accepted connection's request long enough to hold
     # the only slot while the second client knocks.
     plan = FaultPlan([Fault("delay_connection", connection_index=0, seconds=1.5)])
-    with active_plan(plan, str(tmp_path)):
+    with active_plan(plan, str(tmp_path)) as plan_path:
         with ServerThread.from_result(
             solved, max_connections=1, retry_after=0.1
         ) as handle:
@@ -208,6 +211,8 @@ def test_shed_load_returns_503_then_recovers(tmp_path, solved):
             stalled.join()
             assert slow_result["value"] == expected
             assert handle.server.requests_shed >= 1
+        # Anti-vacuity: the stall that held the slot really was injected.
+        assert fired_count(plan_path) == 1
 
 
 def test_graceful_drain_finishes_in_flight(tmp_path, solved):
@@ -215,7 +220,7 @@ def test_graceful_drain_finishes_in_flight(tmp_path, solved):
     (drain returns True) and new connections are shed, not answered."""
     source, target, edge, expected = reference_query(solved)
     plan = FaultPlan([Fault("delay_connection", connection_index=0, seconds=1.0)])
-    with active_plan(plan, str(tmp_path)):
+    with active_plan(plan, str(tmp_path)) as plan_path:
         with ServerThread.from_result(solved) as handle:
             in_flight = {}
 
@@ -234,6 +239,8 @@ def test_graceful_drain_finishes_in_flight(tmp_path, solved):
             late = QueryClient(port=handle.port, retries=0)
             with pytest.raises((RemoteQueryError, ServerOverloadedError)):
                 late.query(source, target, edge)
+        # Anti-vacuity: the drain really raced an injected in-flight stall.
+        assert fired_count(plan_path) == 1
 
 
 def test_stalled_request_times_out_with_408(solved):

@@ -27,6 +27,7 @@ from repro.faults import (
     InjectedFault,
     active_plan,
     corrupt_store,
+    fired_count,
 )
 from repro.graph import generators
 from repro.store import load_header, load_store, write_store
@@ -83,9 +84,11 @@ def test_interrupted_fresh_write_leaves_nothing(tmp_path, solved, at):
     no staging litter; a subsequent retry succeeds normally."""
     target = tmp_path / "store"
     plan = FaultPlan([Fault("crash_at", at=at)])
-    with active_plan(plan, str(tmp_path)):
+    with active_plan(plan, str(tmp_path)) as plan_path:
         with pytest.raises(InjectedFault):
             write_store(str(target), solved)
+        # Anti-vacuity: the crash really hit the named checkpoint.
+        assert fired_count(plan_path) == 1
         assert not target.exists()
         # No half-written staging directory survives the failure.
         litter = [n for n in _store_names(tmp_path) if n.startswith("store.tmp.")]
@@ -111,9 +114,11 @@ def test_interrupted_overwrite_preserves_old_store(tmp_path, solved, at):
     graph2 = generators.random_connected_graph(13, extra_edges=14, seed=5)
     _solver2, newer = solve(graph2, seed=5)
     plan = FaultPlan([Fault("crash_at", at=at)])
-    with active_plan(plan, str(tmp_path)):
+    with active_plan(plan, str(tmp_path)) as plan_path:
         with pytest.raises(InjectedFault):
             write_store(str(target), newer)
+        # Anti-vacuity: the crash really hit the named checkpoint.
+        assert fired_count(plan_path) == 1
     loaded, header = load_store(str(target))
     assert header.fingerprint == old_header.fingerprint
     assert_results_identical(loaded, solved)
